@@ -1,0 +1,60 @@
+//! E12: the latch-vs-lock pathlength ratio the paper's design leans on
+//! ("Acquiring and releasing a latch costs tens of instructions compared to
+//! the hundreds of instructions it costs to acquire and release a lock",
+//! §3). Measures an uncontended page fix+S-latch+release against an
+//! uncontended lock request+release, plus the tree-latch instant
+//! acquisition used by POSC establishment.
+
+use ariesim_bench::{nkey, rig, seed};
+use ariesim_btree::LockProtocol;
+use ariesim_lock::{LockDuration, LockMode, LockName};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_latch_vs_lock(c: &mut Criterion) {
+    let r = rig(LockProtocol::DataOnly, false, 256);
+    seed(&r, 10);
+    let page = r.tree.leaf_for_value(&nkey(0).value).unwrap();
+
+    c.bench_function("page_latch_s", |b| {
+        b.iter(|| {
+            let g = r.pool.fix_s(page).unwrap();
+            std::hint::black_box(g.page_lsn())
+        })
+    });
+
+    c.bench_function("page_latch_x", |b| {
+        b.iter(|| {
+            let g = r.pool.fix_x(page).unwrap();
+            std::hint::black_box(g.page_lsn())
+        })
+    });
+
+    let txn = r.tm.begin();
+    let name = LockName::Record(nkey(0).rid);
+    c.bench_function("lock_request_release", |b| {
+        b.iter(|| {
+            r.locks
+                .request(txn.id, name.clone(), LockMode::S, LockDuration::Manual, false)
+                .unwrap();
+            r.locks.release(txn.id, &name);
+        })
+    });
+
+    c.bench_function("lock_instant", |b| {
+        b.iter(|| {
+            r.locks
+                .request(
+                    txn.id,
+                    name.clone(),
+                    LockMode::X,
+                    LockDuration::Instant,
+                    false,
+                )
+                .unwrap();
+        })
+    });
+    drop(txn);
+}
+
+criterion_group!(benches, bench_latch_vs_lock);
+criterion_main!(benches);

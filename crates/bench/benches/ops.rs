@@ -1,0 +1,99 @@
+//! Single-operation latencies: Fetch / Insert / Delete under each locking
+//! protocol, at two tree sizes. The per-protocol deltas are the lock-count
+//! overheads of E8 expressed as time.
+
+use ariesim_bench::{nkey, rig, seed};
+use ariesim_btree::fetch::FetchCond;
+use ariesim_btree::LockProtocol;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn protocols() -> [(&'static str, LockProtocol); 3] {
+    [
+        ("im-data-only", LockProtocol::DataOnly),
+        ("im-index-specific", LockProtocol::IndexSpecific),
+        ("aries-kvl", LockProtocol::KeyValue),
+    ]
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fetch");
+    for size in [1_000u32, 100_000] {
+        for (name, protocol) in protocols() {
+            let r = rig(protocol, false, 8192);
+            seed(&r, size);
+            let mut i = 0u32;
+            g.bench_with_input(
+                BenchmarkId::new(name, size),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        // One transaction per fetch: includes begin/commit and
+                        // lock acquisition/release, like a real point query.
+                        let txn = r.tm.begin();
+                        let k = nkey((i * 2_654_435_761) % size);
+                        let res = r.tree.fetch(&txn, &k.value, FetchCond::Eq).unwrap();
+                        r.tm.commit(&txn).unwrap();
+                        i = i.wrapping_add(1);
+                        res
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_insert_delete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("insert_then_delete");
+    g.sample_size(20);
+    for (name, protocol) in protocols() {
+        let r = rig(protocol, false, 8192);
+        seed(&r, 10_000);
+        let mut i = 0u32;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let txn = r.tm.begin();
+                let k = nkey(20_000_000 + i);
+                r.tree.insert(&txn, &k).unwrap();
+                r.tree.delete(&txn, &k).unwrap();
+                r.tm.commit(&txn).unwrap();
+                i += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan100");
+    g.sample_size(20);
+    for (name, protocol) in protocols() {
+        let r = rig(protocol, false, 8192);
+        seed(&r, 50_000);
+        let mut start = 0u32;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let txn = r.tm.begin();
+                let (first, cursor) = r
+                    .tree
+                    .open_scan(&txn, &nkey(start % 40_000).value, FetchCond::Ge)
+                    .unwrap();
+                let mut cur = cursor.unwrap();
+                let mut n = usize::from(first.is_some());
+                while n < 100 {
+                    if r.tree.fetch_next(&txn, &mut cur).unwrap().is_none() {
+                        break;
+                    }
+                    n += 1;
+                }
+                r.tm.commit(&txn).unwrap();
+                start = start.wrapping_add(7919);
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fetch, bench_insert_delete, bench_scan);
+criterion_main!(benches);

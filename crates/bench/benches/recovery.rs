@@ -1,0 +1,92 @@
+//! Restart-recovery cost vs log volume (E10 as a Criterion bench): time for
+//! the full analysis + redo + undo cycle over crashed states of increasing
+//! size. The paper's claims measured here: redo work scales with the log
+//! since the dirty-page low-water mark (bounded by checkpoints), and undo
+//! with the losers' records.
+
+use ariesim_bench::{nkey, rig, seed};
+use ariesim_btree::{BTree, IndexRm, LockProtocol};
+use ariesim_common::stats::new_stats;
+use ariesim_common::IndexId;
+use ariesim_lock::LockManager;
+use ariesim_storage::{BufferPool, DiskManager, PoolOptions, SpaceRm};
+use ariesim_txn::RmRegistry;
+use ariesim_wal::{LogManager, LogOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Build a crashed database directory: `committed` committed inserts and
+/// `inflight` loser inserts, log flushed, nothing else.
+fn crashed_state(committed: u32, inflight: u32) -> (ariesim_common::tmp::TempDir, ariesim_common::PageId) {
+    let r = rig(LockProtocol::DataOnly, false, 8192);
+    seed(&r, committed);
+    let loser = r.tm.begin();
+    for i in 0..inflight {
+        r.tree.insert(&loser, &nkey(5_000_000 + i)).unwrap();
+    }
+    r.log.flush_all().unwrap();
+    let root = r.tree.root;
+    let ariesim_bench::Rig { _dir, .. } = r;
+    (_dir, root)
+}
+
+fn run_restart(dir: &std::path::Path, root: ariesim_common::PageId) -> Duration {
+    let stats = new_stats();
+    let log = Arc::new(
+        LogManager::open(&dir.join("wal"), LogOptions::default(), stats.clone()).unwrap(),
+    );
+    let disk = DiskManager::open(&dir.join("db"), stats.clone()).unwrap();
+    let pool = BufferPool::new(disk, log.clone(), PoolOptions { frames: 8192 }, stats.clone());
+    let locks = Arc::new(LockManager::new(stats.clone()));
+    let _ = locks;
+    let rms = Arc::new(RmRegistry::new());
+    let index_rm = IndexRm::new(pool.clone(), stats.clone());
+    rms.register(index_rm.clone());
+    rms.register(Arc::new(SpaceRm::new(pool.clone())));
+    let tree = BTree::new(
+        IndexId(1),
+        root,
+        false,
+        LockProtocol::DataOnly,
+        pool.clone(),
+        Arc::new(LockManager::new(stats.clone())),
+        log.clone(),
+        stats.clone(),
+    );
+    index_rm.register_tree(tree);
+    let t = Instant::now();
+    ariesim_recovery::restart(&log, &pool, &rms, &stats).unwrap();
+    t.elapsed()
+}
+
+fn bench_restart(c: &mut Criterion) {
+    let mut g = c.benchmark_group("restart");
+    g.sample_size(10);
+    for (label, committed, inflight) in [
+        ("1k-committed", 1_000u32, 0u32),
+        ("10k-committed", 10_000, 0),
+        ("10k+1k-losers", 10_000, 1_000),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(committed, inflight),
+            |b, &(committed, inflight)| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        // Fresh crashed state per iteration: recovery mutates
+                        // the log (CLRs) and pages.
+                        let (dir, root) = crashed_state(committed, inflight);
+                        total += run_restart(dir.path(), root);
+                    }
+                    total
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_restart);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! SMO costs: what one page split (nested top action, bottom-up propagation,
+//! dummy CLR) and one page deletion cost end to end, and the bulk-load rate
+//! they sustain. Complements the E13 concurrency ablation — here the
+//! question is raw pathlength, not interference.
+
+use ariesim_bench::{nkey, rig, seed};
+use ariesim_btree::LockProtocol;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+fn bench_bulk_insert_with_splits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bulk");
+    g.sample_size(10);
+    g.bench_function("insert_10k_sequential", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let r = rig(LockProtocol::DataOnly, false, 8192);
+                let t = Instant::now();
+                let txn = r.tm.begin();
+                for i in 0..10_000u32 {
+                    r.tree.insert(&txn, &nkey(i)).unwrap();
+                }
+                r.tm.commit(&txn).unwrap();
+                total += t.elapsed();
+            }
+            total
+        })
+    });
+    g.bench_function("delete_10k_to_empty", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let r = rig(LockProtocol::DataOnly, false, 8192);
+                seed(&r, 10_000);
+                let t = Instant::now();
+                let txn = r.tm.begin();
+                for i in 0..10_000u32 {
+                    r.tree.delete(&txn, &nkey(i)).unwrap();
+                }
+                r.tm.commit(&txn).unwrap();
+                total += t.elapsed();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn bench_single_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smo");
+    g.sample_size(10);
+    g.bench_function("one_leaf_split", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                // A leaf one key short of splitting; insert the straw.
+                let r = rig(LockProtocol::DataOnly, false, 8192);
+                seed(&r, 339);
+                let splits0 = r.stats.snapshot().smo_splits;
+                let txn = r.tm.begin();
+                let mut i = 0u32;
+                // Fill to the brink without timing.
+                loop {
+                    let before = r.stats.snapshot().smo_splits;
+                    if before > splits0 {
+                        break;
+                    }
+                    let t = Instant::now();
+                    r.tree.insert(&txn, &nkey(1_000 + i)).unwrap();
+                    let dt = t.elapsed();
+                    if r.stats.snapshot().smo_splits > splits0 {
+                        total += dt; // the insert that paid for the split
+                        break;
+                    }
+                    i += 1;
+                }
+                r.tm.commit(&txn).unwrap();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bulk_insert_with_splits, bench_single_split);
+criterion_main!(benches);

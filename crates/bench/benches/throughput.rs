@@ -1,0 +1,56 @@
+//! Multi-threaded committed-operation throughput: ARIES/IM vs the ARIES/KVL
+//! baseline, uniform and duplicate-heavy (E9 under the Criterion protocol —
+//! the `experiments concurrency` subcommand prints the same comparison as a
+//! table).
+
+use ariesim_bench::{rig, run_workload, WorkloadSpec};
+use ariesim_btree::LockProtocol;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mixed_workload");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    for duplicates in [false, true] {
+        for (name, protocol) in [
+            ("im-data-only", LockProtocol::DataOnly),
+            ("aries-kvl", LockProtocol::KeyValue),
+        ] {
+            for threads in [1u32, 4] {
+                let id = format!(
+                    "{name}/{}/{}t",
+                    if duplicates { "dups" } else { "uniform" },
+                    threads
+                );
+                g.throughput(Throughput::Elements(1));
+                g.bench_with_input(BenchmarkId::from_parameter(id), &threads, |b, &threads| {
+                    b.iter_custom(|iters| {
+                        // One workload burst per sample; report time per
+                        // committed op scaled to the requested iters.
+                        let r = rig(protocol, false, 2048);
+                        let res = run_workload(
+                            &r,
+                            WorkloadSpec {
+                                threads,
+                                duration: Duration::from_millis(200),
+                                read_pct: 60,
+                                values: 64,
+                                duplicates,
+                                coarse_tree_latch: false,
+                            },
+                        );
+                        let per_op = Duration::from_secs_f64(
+                            1.0 / res.ops_per_sec.max(1.0),
+                        );
+                        per_op * iters as u32
+                    })
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

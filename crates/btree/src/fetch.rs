@@ -1,0 +1,416 @@
+//! Fetch and Fetch Next — the paper's §2.2–2.3 and Figure 5.
+//!
+//! Fetch finds the requested key value or, failing that, the **next higher
+//! key**, and S-locks whichever it found for commit duration. Locking the
+//! next key on the not-found path is what makes repeatable read work: no
+//! other transaction can insert the requested value (it would need an
+//! instant X lock on our locked key), and an uncommitted delete of the value
+//! is detected by tripping on the deleter's commit-duration X next-key lock.
+//! When no higher key exists anywhere, the per-index **EOF** name is locked
+//! instead.
+//!
+//! Locks are requested **conditionally while the leaf latch is held**; if
+//! denied, the page LSN is noted, every latch released, the lock awaited
+//! unconditionally, and the leaf re-latched — if its LSN is unchanged the
+//! previously inferred answer still holds, otherwise the search repeats
+//! (Figure 5's "backup & search if needed").
+
+use crate::node::{leaf_key, leaf_lower_bound};
+use crate::BTree;
+use ariesim_common::key::SearchKey;
+use ariesim_common::page::PageType;
+use ariesim_common::stats::Bump;
+use ariesim_common::{Error, IndexKey, Lsn, PageBuf, PageId, Result, Rid};
+use ariesim_lock::{LockDuration, LockMode, LockName};
+use ariesim_storage::PageReadGuard;
+use ariesim_txn::TxnHandle;
+
+/// Start condition of a fetch (§1.1: "a starting condition (=, >, or >=)
+/// will also be given").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FetchCond {
+    /// Exactly the given value.
+    Eq,
+    /// First key with value ≥ the given value.
+    Ge,
+    /// First key with value > the given value.
+    Gt,
+}
+
+/// Stopping comparison for a range scan (§1.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopCond {
+    /// Continue while the key value is strictly below the stop value.
+    Lt,
+    /// Continue while ≤ the stop value.
+    Le,
+    /// Continue only through duplicates of exactly the stop value.
+    Eq,
+}
+
+/// Result of a fetch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FetchResult {
+    /// A key satisfying the condition, S-locked for commit duration.
+    Found(IndexKey),
+    /// Nothing satisfies it; the next higher key (or EOF) is locked so the
+    /// answer stays true until commit (RR).
+    NotFound,
+}
+
+/// A range-scan cursor: remembers the last returned position so Fetch Next
+/// can usually resume without a traversal (§2.3).
+#[derive(Clone, Debug)]
+pub struct Cursor {
+    pub(crate) last_key: IndexKey,
+    pub(crate) leaf: PageId,
+    pub(crate) leaf_lsn: Lsn,
+}
+
+/// Where the key following a position lives.
+pub(crate) enum NextKey {
+    /// At the given position on the same (still latched by caller) page.
+    OnPage(IndexKey),
+    /// First key of the right neighbour; the guard keeps it latched.
+    OnNext(IndexKey, PageReadGuard),
+    /// No higher key exists in the index.
+    Eof,
+    /// The right neighbour is empty or not a valid leaf — an SMO is in
+    /// flight; wait for it and retry.
+    Ambiguous,
+}
+
+/// Search key positioned immediately *after* `after`: the successor RID
+/// makes a lower bound return the first key strictly greater than `after`.
+pub(crate) fn successor_search(after: &IndexKey) -> SearchKey<'_> {
+    let rid = if after.rid.slot.0 < u16::MAX {
+        Rid::new(after.rid.page, after.rid.slot.0 + 1)
+    } else {
+        Rid::new(PageId(after.rid.page.0.wrapping_add(1)), 0)
+    };
+    SearchKey::full(&after.value, rid)
+}
+
+impl BTree {
+    /// Find the key at `from_slot` on `leaf`, or the first key ≥ `search`
+    /// on a leaf to the right (paper §2.2's "the next leaf would be latched
+    /// and accessed while continuing to hold the latch on the first leaf").
+    ///
+    /// The walk *searches* each page rather than taking its first key: a
+    /// concurrent split may have moved the relevant keys to a right sibling
+    /// whose first key still sorts below `search`. The walk latch-couples
+    /// along the leaf chain, so for multi-hop walks three latches are
+    /// briefly held (original leaf + two chain pages) — a documented
+    /// deviation from the paper's two-latch budget, which describes only the
+    /// single-hop case (see DESIGN.md §7).
+    pub(crate) fn next_key_after(
+        &self,
+        leaf: &PageBuf,
+        from_slot: u16,
+        search: &SearchKey<'_>,
+    ) -> Result<NextKey> {
+        if from_slot < leaf.slot_count() {
+            return Ok(NextKey::OnPage(leaf_key(leaf, from_slot)?));
+        }
+        let mut next = leaf.next();
+        let mut _walk: Option<PageReadGuard> = None;
+        loop {
+            if next.is_null() {
+                return Ok(NextKey::Eof);
+            }
+            let g = self.pool.fix_s(next)?;
+            let valid = matches!(g.page_type(), Ok(PageType::IndexLeaf))
+                && g.owner() == self.index_id.0
+                && g.level() == 0;
+            if !valid {
+                return Ok(NextKey::Ambiguous);
+            }
+            let idx = leaf_lower_bound(&g, search)?;
+            if idx < g.slot_count() {
+                let k = leaf_key(&g, idx)?;
+                return Ok(NextKey::OnNext(k, g));
+            }
+            // Nothing ≥ search here (page emptied or shrunk by an SMO, or a
+            // gap between a split's halves): keep walking, coupled.
+            next = g.next();
+            _walk = Some(g);
+        }
+    }
+
+    /// Fetch per §2.2: returns the first key satisfying (`value`, `cond`),
+    /// S-locking it — or the next key / EOF on the not-found path.
+    pub fn fetch(&self, txn: &TxnHandle, value: &[u8], cond: FetchCond) -> Result<FetchResult> {
+        self.stats.index_fetches.bump();
+        let search = SearchKey::value_only(value);
+        // When walking right, Gt must skip every duplicate of `value`; a
+        // maximal-RID search key positions strictly past them.
+        let max_rid = Rid::new(PageId(u32::MAX), u16::MAX);
+        let walk_search = match cond {
+            FetchCond::Gt => SearchKey::full(value, max_rid),
+            _ => SearchKey::value_only(value),
+        };
+        loop {
+            let leaf = self.traverse(&search, false)?;
+            let page = leaf.page();
+            let mut idx = leaf_lower_bound(page, &search)?;
+            // For Gt, skip keys equal to the value.
+            if cond == FetchCond::Gt {
+                while idx < page.slot_count() && leaf_key(page, idx)?.value == value {
+                    idx += 1;
+                }
+            }
+            let mut found = match self.next_key_after(page, idx, &walk_search)? {
+                NextKey::OnPage(k) => Some((k, None)),
+                NextKey::OnNext(k, g) => Some((k, Some(g))),
+                NextKey::Eof => None,
+                NextKey::Ambiguous => {
+                    drop(leaf);
+                    self.tree_instant_s();
+                    continue;
+                }
+            };
+            let lock = match &found {
+                Some((k, _)) => self.key_lock(k),
+                None => self.eof_lock(),
+            };
+            match self.locks.request(
+                txn.id,
+                lock.clone(),
+                LockMode::S,
+                LockDuration::Commit,
+                true,
+            ) {
+                Ok(()) => {
+                    let result = Self::evaluate(found.take().map(|(k, _)| k), value, cond);
+                    return Ok(result);
+                }
+                Err(Error::WouldBlock) => {
+                    // Figure 5: note LSN, unlatch, wait, revalidate.
+                    let noted = leaf.lsn();
+                    let leaf_id = leaf.page_id();
+                    drop(found);
+                    drop(leaf);
+                    self.locks
+                        .request(txn.id, lock, LockMode::S, LockDuration::Commit, false)?;
+                    let g = self.pool.fix_s(leaf_id)?;
+                    if g.page_lsn() == noted {
+                        // Nothing changed while we waited: answer stands.
+                        // Note: `found` was dropped with its guard, so
+                        // recompute cheaply from the re-latched page.
+                        let idx2 = leaf_lower_bound(&g, &search)?;
+                        let k = if idx2 < g.slot_count() {
+                            Some(leaf_key(&g, idx2)?)
+                        } else {
+                            None
+                        };
+                        if let Some(k) = k {
+                            if cond != FetchCond::Gt || k.value != value {
+                                return Ok(Self::evaluate(Some(k), value, cond));
+                            }
+                        }
+                        // Fall through to retry for walk cases.
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn evaluate(found: Option<IndexKey>, value: &[u8], cond: FetchCond) -> FetchResult {
+        match found {
+            Some(k) => match cond {
+                FetchCond::Eq => {
+                    if k.value == value {
+                        FetchResult::Found(k)
+                    } else {
+                        FetchResult::NotFound
+                    }
+                }
+                FetchCond::Ge => FetchResult::Found(k),
+                FetchCond::Gt => {
+                    if k.value == value {
+                        FetchResult::NotFound // caller retries; shouldn't reach
+                    } else {
+                        FetchResult::Found(k)
+                    }
+                }
+            },
+            None => FetchResult::NotFound,
+        }
+    }
+
+    /// Open a scan at the first key with value ≥ (`Ge`) / > (`Gt`) / = (`Eq`)
+    /// `value`. Returns the first key (if any) and a cursor for
+    /// [`fetch_next`](Self::fetch_next).
+    pub fn open_scan(
+        &self,
+        txn: &TxnHandle,
+        value: &[u8],
+        cond: FetchCond,
+    ) -> Result<(Option<IndexKey>, Option<Cursor>)> {
+        match self.fetch(txn, value, cond)? {
+            FetchResult::Found(k) => {
+                let cursor = self.cursor_for(&k)?;
+                Ok((Some(k), Some(cursor)))
+            }
+            FetchResult::NotFound => Ok((None, None)),
+        }
+    }
+
+    /// Build a cursor positioned on `key` (which the caller just fetched).
+    fn cursor_for(&self, key: &IndexKey) -> Result<Cursor> {
+        let leaf = self.traverse(&SearchKey::from_key(key), false)?;
+        Ok(Cursor {
+            last_key: key.clone(),
+            leaf: leaf.page_id(),
+            leaf_lsn: leaf.lsn(),
+        })
+    }
+
+    /// Fetch Next per §2.3: the key following the cursor position, S-locked.
+    /// Returns `None` at end of index (EOF locked). The caller enforces its
+    /// stop condition — the paper's protocol requires the terminating key to
+    /// be locked, which has already happened by the time the caller sees it.
+    pub fn fetch_next(&self, txn: &TxnHandle, cursor: &mut Cursor) -> Result<Option<IndexKey>> {
+        self.stats.index_fetches.bump();
+        let found = self.fetch_next_internal(txn, &cursor.last_key.clone())?;
+        if let Some(k) = &found {
+            cursor.last_key = k.clone();
+            // Remember the new position (best effort; a stale leaf id just
+            // means the next call re-traverses).
+            if let Ok(leaf) = self.traverse(&SearchKey::from_key(k), false) {
+                cursor.leaf = leaf.page_id();
+                cursor.leaf_lsn = leaf.lsn();
+            }
+        }
+        Ok(found)
+    }
+
+    /// Locked lookup of the first key strictly greater than `after`.
+    fn fetch_next_internal(
+        &self,
+        txn: &TxnHandle,
+        after: &IndexKey,
+    ) -> Result<Option<IndexKey>> {
+        let search = SearchKey::from_key(after);
+        let succ = successor_search(after);
+        loop {
+            let leaf = self.traverse(&search, false)?;
+            let page = leaf.page();
+            let idx = leaf_lower_bound(page, &succ)?;
+            let found = match self.next_key_after(page, idx, &succ)? {
+                NextKey::OnPage(k) => Some((k, None)),
+                NextKey::OnNext(k, g) => Some((k, Some(g))),
+                NextKey::Eof => None,
+                NextKey::Ambiguous => {
+                    drop(leaf);
+                    self.tree_instant_s();
+                    continue;
+                }
+            };
+            let lock = match &found {
+                Some((k, _)) => self.key_lock(k),
+                None => self.eof_lock(),
+            };
+            match self.locks.request(
+                txn.id,
+                lock.clone(),
+                LockMode::S,
+                LockDuration::Commit,
+                true,
+            ) {
+                Ok(()) => return Ok(found.map(|(k, _)| k)),
+                Err(Error::WouldBlock) => {
+                    let noted = leaf.lsn();
+                    let leaf_id = leaf.page_id();
+                    drop(found);
+                    drop(leaf);
+                    self.locks
+                        .request(txn.id, lock, LockMode::S, LockDuration::Commit, false)?;
+                    let g = self.pool.fix_s(leaf_id)?;
+                    if g.page_lsn() == noted {
+                        // Unchanged: recompute the same answer and return it.
+                        let idx2 = leaf_lower_bound(&g, &succ)?;
+                        if idx2 < g.slot_count() {
+                            return Ok(Some(leaf_key(&g, idx2)?));
+                        }
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Fetch by key-value *prefix* (§1.1: "a key value or a partial key
+    /// value (its prefix)"): returns the first key whose value starts with
+    /// `prefix`, S-locked commit duration — or NotFound with the next key /
+    /// EOF locked, exactly like [`fetch`](Self::fetch).
+    pub fn fetch_prefix(&self, txn: &TxnHandle, prefix: &[u8]) -> Result<FetchResult> {
+        match self.fetch(txn, prefix, FetchCond::Ge)? {
+            FetchResult::Found(k) if k.value.starts_with(prefix) => {
+                Ok(FetchResult::Found(k))
+            }
+            // The next key was locked either way, so the "no key with this
+            // prefix" answer is repeatable.
+            _ => Ok(FetchResult::NotFound),
+        }
+    }
+
+    /// Fetch Next with the paper's stopping specification (§1.1: "a stopping
+    /// key and a comparison operator (<, =, or <=)"): returns `None` once
+    /// the next key falls outside the bound. The terminating key has been
+    /// locked by then, so the range edge is RR-protected either way.
+    pub fn fetch_next_until(
+        &self,
+        txn: &TxnHandle,
+        cursor: &mut Cursor,
+        stop_value: &[u8],
+        stop: StopCond,
+    ) -> Result<Option<IndexKey>> {
+        match self.fetch_next(txn, cursor)? {
+            Some(k) => {
+                let within = match stop {
+                    StopCond::Lt => k.value.as_slice() < stop_value,
+                    StopCond::Le => k.value.as_slice() <= stop_value,
+                    StopCond::Eq => k.value.as_slice() == stop_value,
+                };
+                Ok(within.then_some(k))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Unlocked full scan (verification and examples only — takes no locks,
+    /// so it sees uncommitted state).
+    pub fn scan_all_unlocked(&self) -> Result<Vec<IndexKey>> {
+        let mut out = Vec::new();
+        // Find the leftmost leaf.
+        let mut g = self.pool.fix_s(self.root)?;
+        while g.level() > 0 {
+            let child = crate::node::node_cell(&g, 0)?.child;
+            let cg = self.pool.fix_s(child)?;
+            drop(g);
+            g = cg;
+        }
+        loop {
+            for i in 0..g.slot_count() {
+                out.push(leaf_key(&g, i)?);
+            }
+            let next = g.next();
+            if next.is_null() {
+                break;
+            }
+            let ng = self.pool.fix_s(next)?;
+            drop(g);
+            g = ng;
+        }
+        Ok(out)
+    }
+
+    /// Lock name of an arbitrary lockable key (test helper).
+    pub fn lock_name_of(&self, key: &IndexKey) -> LockName {
+        self.key_lock(key)
+    }
+}

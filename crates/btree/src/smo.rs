@@ -1,0 +1,374 @@
+//! Structure modification operations — the paper's Figures 8, 9 and 10.
+//!
+//! Both SMOs (page split and page deletion) run under the **X tree latch**
+//! (§2.1: "SMOs within a single index tree are serialized using an X tree
+//! latch") and are bracketed as **nested top actions**: every page-level
+//! action is a regular redo-undo record, and a dummy CLR at the end makes
+//! the whole SMO survive a rollback of the enclosing transaction (§3).
+//!
+//! Discipline enforced here (paper §4):
+//!
+//! * at most two page latches held at once, and never a lower-level latch
+//!   while *waiting* for a higher-level one — propagation latches the parent
+//!   only after the leaf-level latches are released;
+//! * splits go to the **right**: higher-valued keys move to the new page;
+//! * every page touched by the SMO has its SM_Bit set to '1' (done inside
+//!   each body's apply), warning concurrent traversers;
+//! * no I/O while holding the tree latch beyond the buffer-pool page
+//!   fixes themselves (the paper asks callers to pre-fix pages; our pool
+//!   makes fixes cheap, so the latch hold time stays short either way).
+//!
+//! The same functions serve SMOs needed *during undo* (paper §3's exception:
+//! those are logged as regular records, which these are) — the caller just
+//! passes the rollback's [`ChainLogger`].
+
+use crate::apply::apply_body;
+use crate::body::IndexBody;
+use crate::node::{node_cell, node_find_child, node_search, raw_cells, NodeCell};
+use crate::BTree;
+use ariesim_common::key::SearchKey;
+use ariesim_common::slotted::SLOT_LEN;
+use ariesim_common::stats::Bump;
+use ariesim_common::{Error, IndexKey, PageId, Result};
+use ariesim_wal::{ChainLogger, RmId};
+
+impl BTree {
+    /// Root-to-leaf descent recording the page ids on the way. Must be
+    /// called with the tree latch held (no SMO can change the structure, so
+    /// no ambiguity handling is needed).
+    pub(crate) fn descend_path(&self, search: &SearchKey<'_>) -> Result<Vec<PageId>> {
+        let mut path = vec![self.root];
+        let mut g = self.pool.fix_s(self.root)?;
+        while g.level() > 0 {
+            let (_, child) = node_search(&g, search)?;
+            let cg = self.pool.fix_s(child)?;
+            drop(g);
+            g = cg;
+            path.push(child);
+        }
+        Ok(path)
+    }
+
+    /// Fix `page` exclusive, apply `body`, log it, stamp the page LSN.
+    fn smo_action(&self, logger: &mut ChainLogger<'_>, page: PageId, body: IndexBody) -> Result<()> {
+        let mut g = self.pool.fix_x(page)?;
+        apply_body(&mut g, page, &body)?;
+        let lsn = logger.update(RmId::Index, page, body.encode());
+        g.record_update(lsn);
+        Ok(())
+    }
+
+    /// Grow the tree by one level: the root's cells move into a fresh child;
+    /// the root becomes a nonleaf one level higher whose only child is it.
+    /// Returns the new child holding the old content.
+    fn root_grow(&self, logger: &mut ChainLogger<'_>) -> Result<PageId> {
+        let mut g = self.pool.fix_x(self.root)?;
+        let cells = raw_cells(&g)?;
+        let level = g.level();
+        let child = self.space.allocate(logger)?;
+        {
+            let mut cg = self.pool.fix_x(child)?;
+            let body = IndexBody::PageFormat {
+                index: self.index_id,
+                level,
+                cells: cells.clone(),
+                prev: PageId::NULL,
+                next: PageId::NULL,
+                sm_bit: true,
+            };
+            apply_body(&mut cg, child, &body)?;
+            let lsn = logger.update(RmId::Index, child, body.encode());
+            cg.record_update(lsn);
+        }
+        let body = IndexBody::RootReplace {
+            index: self.index_id,
+            old_level: level,
+            new_level: level + 1,
+            child,
+            old_cells: cells,
+        };
+        apply_body(&mut g, self.root, &body)?;
+        let lsn = logger.update(RmId::Index, self.root, body.encode());
+        g.record_update(lsn);
+        Ok(child)
+    }
+
+    /// Split `path[idx]` around its byte midpoint (higher keys to the new
+    /// right page) and post the separator to the parent, splitting ancestors
+    /// as needed. Returns the new right sibling. Caller holds the X tree
+    /// latch; the dummy CLR is the caller's responsibility.
+    fn split_one(&self, logger: &mut ChainLogger<'_>, path: &mut Vec<PageId>, mut idx: usize) -> Result<PageId> {
+        if idx == 0 {
+            // Splitting the root: grow first, then split the new child.
+            let child = self.root_grow(logger)?;
+            path.insert(1, child);
+            idx = 1;
+        }
+        let target = path[idx];
+        let mut g = self.pool.fix_x(target)?;
+        let cells = raw_cells(&g)?;
+        if cells.len() < 2 {
+            return Err(Error::Internal(format!(
+                "split of {target} with {} cells",
+                cells.len()
+            )));
+        }
+        // Byte-midpoint split index, clamped to leave both sides nonempty.
+        let total: usize = cells.iter().map(|c| c.len() + SLOT_LEN).sum();
+        let mut acc = 0usize;
+        let mut split_idx = cells.len() - 1;
+        for (i, c) in cells.iter().enumerate() {
+            acc += c.len() + SLOT_LEN;
+            if acc * 2 >= total {
+                split_idx = (i + 1).clamp(1, cells.len() - 1);
+                break;
+            }
+        }
+        let upper: Vec<Vec<u8>> = cells[split_idx..].to_vec();
+        let is_leaf = g.level() == 0;
+        let level = g.level();
+        let old_next = g.next();
+        let (sep, dropped_high) = if is_leaf {
+            (IndexKey::decode(&upper[0])?, None)
+        } else {
+            let last_kept = NodeCell::decode(&cells[split_idx - 1])?;
+            let h = last_kept.high_key.ok_or_else(|| Error::CorruptPage {
+                page: target,
+                reason: "nonleaf split: kept rightmost cell has no high key".into(),
+            })?;
+            (h.clone(), Some(h))
+        };
+        // Allocate and format the new right page (two latches held: target + new).
+        let new_page = self.space.allocate(logger)?;
+        {
+            let mut ng = self.pool.fix_x(new_page)?;
+            let body = IndexBody::PageFormat {
+                index: self.index_id,
+                level,
+                cells: upper.clone(),
+                prev: if is_leaf { target } else { PageId::NULL },
+                next: if is_leaf { old_next } else { PageId::NULL },
+                sm_bit: true,
+            };
+            apply_body(&mut ng, new_page, &body)?;
+            let lsn = logger.update(RmId::Index, new_page, body.encode());
+            ng.record_update(lsn);
+        }
+        // Shrink the split page.
+        {
+            let body = IndexBody::SplitShrink {
+                index: self.index_id,
+                removed: upper,
+                old_next,
+                new_next: if is_leaf { new_page } else { PageId::NULL },
+                dropped_high,
+            };
+            apply_body(&mut g, target, &body)?;
+            let lsn = logger.update(RmId::Index, target, body.encode());
+            g.record_update(lsn);
+        }
+        drop(g);
+        // Rechain the old right neighbour (leaf level only; leaf latches are
+        // released before any higher-level latch is requested — §4).
+        if is_leaf && !old_next.is_null() {
+            self.smo_action(
+                logger,
+                old_next,
+                IndexBody::ChainPrev {
+                    old: target,
+                    new: new_page,
+                },
+            )?;
+        }
+        self.stats.smo_splits.bump();
+        self.post_separator(logger, path, idx - 1, target, sep, new_page)?;
+        Ok(new_page)
+    }
+
+    /// Post the separator `(left, sep, right)` into the nonleaf `path[idx]`,
+    /// splitting it (and its ancestors) if it is full.
+    fn post_separator(
+        &self,
+        logger: &mut ChainLogger<'_>,
+        path: &mut Vec<PageId>,
+        idx: usize,
+        left: PageId,
+        sep: IndexKey,
+        right: PageId,
+    ) -> Result<()> {
+        loop {
+            let pa = path[idx];
+            let mut g = self.pool.fix_x(pa)?;
+            let slot = node_find_child(&g, left)?;
+            // Worst-case growth: the replaced cell grows by sep's bytes and
+            // one new cell (≈ the old cell's size) plus a slot is added.
+            let old_cell_len = g.cell(slot).map(|c| c.len()).unwrap_or(0);
+            let need = sep.wire_len() + old_cell_len + 2 * SLOT_LEN + 8;
+            if g.total_free() >= need {
+                let body = IndexBody::AddSeparator {
+                    index: self.index_id,
+                    slot,
+                    sep,
+                    new_child: right,
+                };
+                apply_body(&mut g, pa, &body)?;
+                let lsn = logger.update(RmId::Index, pa, body.encode());
+                g.record_update(lsn);
+                return Ok(());
+            }
+            drop(g);
+            // Parent full: split it first (posts its own separator upward),
+            // then figure out which half now parents `left`.
+            let sibling = self.split_one(logger, path, idx)?;
+            let pa = path[idx];
+            let g = self.pool.fix_s(pa)?;
+            let in_left = node_find_child(&g, left).is_ok();
+            drop(g);
+            if !in_left {
+                path[idx] = sibling;
+            }
+        }
+    }
+
+    /// Figure 8/9: the page-split SMO. Caller holds the X tree latch.
+    /// Re-descends for `search`; if the leaf cannot fit `need` more bytes,
+    /// splits it (propagating up) inside a nested top action. Returns the
+    /// leaf now covering `search`.
+    pub(crate) fn split_smo(
+        &self,
+        logger: &mut ChainLogger<'_>,
+        search: &SearchKey<'_>,
+        need: usize,
+    ) -> Result<PageId> {
+        let token = logger.last_lsn;
+        let mut path = self.descend_path(search)?;
+        let leaf = *path.last().expect("path nonempty");
+        {
+            let g = self.pool.fix_s(leaf)?;
+            if g.total_free() >= need + SLOT_LEN {
+                return Ok(leaf); // someone already made room
+            }
+        }
+        let idx = path.len() - 1;
+        self.split_one(logger, &mut path, idx)?;
+        logger.dummy_clr(token);
+        // Re-descend: the separator just posted routes `search` to whichever
+        // half now covers it (we still hold the tree latch, so this is
+        // cheap and race-free).
+        let path2 = self.descend_path(search)?;
+        Ok(*path2.last().expect("path nonempty"))
+    }
+
+    /// Figure 8/10: the page-deletion SMO. Caller holds the X tree latch and
+    /// has already performed and logged the key delete that emptied the leaf
+    /// (`logger.last_lsn` is that record — the dummy CLR will point at it).
+    /// Deletes every empty page on the search path bottom-up.
+    pub(crate) fn page_delete_smo(
+        &self,
+        logger: &mut ChainLogger<'_>,
+        search: &SearchKey<'_>,
+    ) -> Result<()> {
+        let token = logger.last_lsn;
+        let path = self.descend_path(search)?;
+        let mut victim_idx = path.len() - 1;
+        let mut performed = false;
+        loop {
+            let victim = path[victim_idx];
+            if victim_idx == 0 {
+                // The root is never freed. If it is an empty nonleaf (its
+                // last child was just deleted), collapse it to an empty leaf.
+                let mut g = self.pool.fix_x(self.root)?;
+                if g.level() > 0 && g.slot_count() == 0 {
+                    let body = IndexBody::RootCollapse {
+                        index: self.index_id,
+                        old_level: g.level(),
+                        old_cells: Vec::new(),
+                    };
+                    apply_body(&mut g, self.root, &body)?;
+                    let lsn = logger.update(RmId::Index, self.root, body.encode());
+                    g.record_update(lsn);
+                    performed = true;
+                }
+                break;
+            }
+            let (prev, next, level, empty) = {
+                let g = self.pool.fix_s(victim)?;
+                (g.prev(), g.next(), g.level(), g.slot_count() == 0)
+            };
+            if !empty {
+                break;
+            }
+            // Unchain (leaf level only — nonleafs are not chained).
+            if level == 0 {
+                if !prev.is_null() {
+                    self.smo_action(
+                        logger,
+                        prev,
+                        IndexBody::ChainNext {
+                            old: victim,
+                            new: next,
+                        },
+                    )?;
+                }
+                if !next.is_null() {
+                    self.smo_action(
+                        logger,
+                        next,
+                        IndexBody::ChainPrev {
+                            old: victim,
+                            new: prev,
+                        },
+                    )?;
+                }
+            }
+            // Remove the parent's separator for the victim.
+            let pa = path[victim_idx - 1];
+            let pa_empty = {
+                let mut g = self.pool.fix_x(pa)?;
+                let slot = node_find_child(&g, victim)?;
+                let cell = node_cell(&g, slot)?;
+                let dropped_high = if cell.high_key.is_none() && slot > 0 {
+                    node_cell(&g, slot - 1)?.high_key
+                } else {
+                    None
+                };
+                let body = IndexBody::RemoveSeparator {
+                    index: self.index_id,
+                    slot,
+                    child: victim,
+                    old_high: cell.high_key,
+                    dropped_high,
+                };
+                apply_body(&mut g, pa, &body)?;
+                let lsn = logger.update(RmId::Index, pa, body.encode());
+                g.record_update(lsn);
+                g.slot_count() == 0
+            };
+            // Free the victim page.
+            {
+                let mut g = self.pool.fix_x(victim)?;
+                let body = IndexBody::FreePage {
+                    index: self.index_id,
+                    level,
+                    prev,
+                    next,
+                };
+                apply_body(&mut g, victim, &body)?;
+                let lsn = logger.update(RmId::Index, victim, body.encode());
+                g.record_update(lsn);
+            }
+            self.space.free(logger, victim)?;
+            self.stats.smo_page_deletes.bump();
+            performed = true;
+            if pa_empty {
+                victim_idx -= 1;
+            } else {
+                break;
+            }
+        }
+        if performed {
+            logger.dummy_clr(token);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,126 @@
+//! The structural checker is the oracle every crash test leans on — so the
+//! checker itself must be able to *fail*. These tests corrupt trees in
+//! specific ways (through the page API, bypassing the protocol) and assert
+//! the checker reports each violation.
+
+mod common;
+
+use ariesim_btree::node::{leaf_keys, NodeCell};
+use ariesim_common::page::PageType;
+use common::{fix, nkey};
+
+/// Seed enough keys for a two-level tree and return the fixture.
+fn two_level() -> common::Fix {
+    let f = fix();
+    let txn = f.tm.begin();
+    for i in 0..1200u32 {
+        f.tree.insert(&txn, &nkey(i)).unwrap();
+    }
+    f.tm.commit(&txn).unwrap();
+    assert!(f.tree.check_structure().unwrap().height >= 1);
+    f
+}
+
+#[test]
+fn detects_out_of_order_keys() {
+    let f = two_level();
+    let leaf = f.tree.leaf_for_value(&nkey(600).value).unwrap();
+    {
+        let mut g = f.pool.fix_x(leaf).unwrap();
+        // Swap two cells: breaks intra-page order.
+        let a = g.cell(0).unwrap().to_vec();
+        let b = g.cell(1).unwrap().to_vec();
+        g.replace_cell_at(0, &b).unwrap();
+        g.replace_cell_at(1, &a).unwrap();
+    }
+    assert!(f.tree.check_structure().is_err());
+}
+
+#[test]
+fn detects_key_above_parent_high_key() {
+    let f = two_level();
+    // Put a key into the FIRST leaf that belongs far to the right.
+    let first_leaf = f.tree.leaf_for_value(&nkey(0).value).unwrap();
+    {
+        let mut g = f.pool.fix_x(first_leaf).unwrap();
+        let n = g.slot_count();
+        let intruder = nkey(999_999);
+        g.insert_cell_at(n, &intruder.encode()).unwrap();
+    }
+    let err = f.tree.check_structure().unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("high key") || msg.contains("out of order"),
+        "unexpected error: {msg}"
+    );
+}
+
+#[test]
+fn detects_broken_leaf_chain() {
+    let f = two_level();
+    let leaf = f.tree.leaf_for_value(&nkey(0).value).unwrap();
+    {
+        let mut g = f.pool.fix_x(leaf).unwrap();
+        g.set_next(ariesim_common::PageId::NULL); // sever the chain
+    }
+    let err = f.tree.check_structure().unwrap_err();
+    assert!(format!("{err}").contains("next"), "{err}");
+}
+
+#[test]
+fn detects_empty_nonroot_leaf() {
+    let f = two_level();
+    let leaf = f.tree.leaf_for_value(&nkey(0).value).unwrap();
+    {
+        let mut g = f.pool.fix_x(leaf).unwrap();
+        let keys = leaf_keys(&g).unwrap();
+        for _ in keys {
+            g.delete_cell_at(0).unwrap();
+        }
+    }
+    let err = f.tree.check_structure().unwrap_err();
+    assert!(format!("{err}").contains("empty"), "{err}");
+}
+
+#[test]
+fn detects_wrong_page_type_in_tree() {
+    let f = two_level();
+    let leaf = f.tree.leaf_for_value(&nkey(0).value).unwrap();
+    {
+        let mut g = f.pool.fix_x(leaf).unwrap();
+        g.set_page_type(PageType::Heap);
+    }
+    assert!(f.tree.check_structure().is_err());
+}
+
+#[test]
+fn detects_missing_high_key_on_middle_cell() {
+    let f = two_level();
+    // Strip the high key from the root's first cell (only the rightmost may
+    // lack one).
+    {
+        let mut g = f.pool.fix_x(f.tree.root).unwrap();
+        assert!(g.level() >= 1);
+        let cell = ariesim_btree::node::node_cell(&g, 0).unwrap();
+        g.replace_cell_at(
+            0,
+            &NodeCell {
+                child: cell.child,
+                high_key: None,
+            }
+            .encode(),
+        )
+        .unwrap();
+    }
+    let err = f.tree.check_structure().unwrap_err();
+    assert!(format!("{err}").contains("high key"), "{err}");
+}
+
+#[test]
+fn clean_tree_passes_repeatedly() {
+    let f = two_level();
+    for _ in 0..3 {
+        let r = f.tree.check_structure().unwrap();
+        assert_eq!(r.keys, 1200);
+    }
+}

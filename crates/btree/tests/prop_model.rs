@@ -1,0 +1,118 @@
+//! Property test: the ARIES/IM B+-tree against a `BTreeSet` model.
+//!
+//! Random batches of inserts/deletes, with some batches committed and some
+//! rolled back, must leave the tree holding exactly the model's keys, in
+//! order, with every structural invariant intact — across splits, page
+//! deletions, root growth and collapse, and partial rollbacks.
+
+mod common;
+
+use ariesim_common::IndexKey;
+use common::{fix, nkey};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Clone, Debug)]
+enum Action {
+    Insert(u32),
+    Delete(u32),
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u32..600).prop_map(Action::Insert),
+        (0u32..600).prop_map(Action::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_matches_btreeset_model(
+        batches in proptest::collection::vec(
+            (proptest::collection::vec(action(), 1..60), any::<bool>()),
+            1..8,
+        )
+    ) {
+        let f = fix();
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+
+        for (actions, commit) in batches {
+            let txn = f.tm.begin();
+            let mut scratch = model.clone();
+            for a in actions {
+                match a {
+                    Action::Insert(n) => {
+                        if scratch.insert(n) {
+                            f.tree.insert(&txn, &nkey(n)).unwrap();
+                        }
+                    }
+                    Action::Delete(n) => {
+                        if scratch.remove(&n) {
+                            f.tree.delete(&txn, &nkey(n)).unwrap();
+                        }
+                    }
+                }
+            }
+            if commit {
+                f.tm.commit(&txn).unwrap();
+                model = scratch;
+            } else {
+                f.tm.rollback(&txn).unwrap();
+                // model unchanged: everything the batch did is undone
+            }
+            let keys = f.tree.scan_all_unlocked().unwrap();
+            let want: Vec<IndexKey> = model.iter().map(|&n| nkey(n)).collect();
+            prop_assert_eq!(&keys, &want, "after commit={}", commit);
+            let report = f.tree.check_structure().unwrap();
+            prop_assert_eq!(report.keys, model.len());
+        }
+    }
+
+    #[test]
+    fn partial_rollback_restores_midpoint(
+        first in proptest::collection::vec(action(), 1..40),
+        second in proptest::collection::vec(action(), 1..40),
+    ) {
+        let f = fix();
+        let txn = f.tm.begin();
+        let mut state: BTreeSet<u32> = BTreeSet::new();
+        for a in first {
+            match a {
+                Action::Insert(n) => {
+                    if state.insert(n) {
+                        f.tree.insert(&txn, &nkey(n)).unwrap();
+                    }
+                }
+                Action::Delete(n) => {
+                    if state.remove(&n) {
+                        f.tree.delete(&txn, &nkey(n)).unwrap();
+                    }
+                }
+            }
+        }
+        let sp = txn.savepoint();
+        let midpoint = state.clone();
+        for a in second {
+            match a {
+                Action::Insert(n) => {
+                    if state.insert(n) {
+                        f.tree.insert(&txn, &nkey(n)).unwrap();
+                    }
+                }
+                Action::Delete(n) => {
+                    if state.remove(&n) {
+                        f.tree.delete(&txn, &nkey(n)).unwrap();
+                    }
+                }
+            }
+        }
+        f.tm.rollback_to(&txn, sp).unwrap();
+        let keys = f.tree.scan_all_unlocked().unwrap();
+        let want: Vec<IndexKey> = midpoint.iter().map(|&n| nkey(n)).collect();
+        prop_assert_eq!(&keys, &want);
+        f.tm.commit(&txn).unwrap();
+        f.tree.check_structure().unwrap();
+    }
+}

@@ -1,0 +1,236 @@
+//! Strongly-typed identifiers.
+//!
+//! Every identifier that crosses a subsystem boundary is a newtype so that a
+//! page id can never be confused with a transaction id at a call site. All of
+//! them are `Copy`, ordered, hashable, and have a stable 8-byte (or smaller)
+//! little-endian wire encoding used by the log and page formats.
+
+use std::fmt;
+
+/// Log sequence number: the byte offset of a log record in the (conceptually
+/// infinite) log address space. LSNs increase monotonically over time, which
+/// is the property ARIES's `page_LSN` comparison relies on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The null LSN: "no log record". Used for `prev_lsn` of a transaction's
+    /// first record and for pages that have never been modified.
+    pub const NULL: Lsn = Lsn(0);
+
+    /// The smallest valid (non-null) LSN. The log reserves offset 0 for NULL
+    /// by starting real records at this offset.
+    pub const FIRST: Lsn = Lsn(1);
+
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Lsn::NULL
+    }
+}
+
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Lsn(NULL)")
+        } else {
+            write!(f, "Lsn({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of a page in the database file. Page 0 is the database header
+/// page; space-map pages and user pages follow.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Sentinel for "no page" (e.g. a leaf with no successor). Page 0 is the
+    /// header page and can never legitimately be linked to, so it doubles as
+    /// the null value in chain pointers.
+    pub const NULL: PageId = PageId(0);
+
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == PageId::NULL
+    }
+
+    /// Byte offset of this page inside the database file.
+    #[inline]
+    pub fn file_offset(self) -> u64 {
+        self.0 as u64 * crate::page::PAGE_SIZE as u64
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Slot number of a record within a slotted page.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SlotNo(pub u16);
+
+/// Record identifier: (data page, slot). This is what ARIES/IM's *data-only
+/// locking* locks — "to lock a key, ARIES/IM locks the record whose record ID
+/// is present in the key" (§2.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rid {
+    pub page: PageId,
+    pub slot: SlotNo,
+}
+
+impl Rid {
+    pub const fn new(page: PageId, slot: u16) -> Rid {
+        Rid {
+            page,
+            slot: SlotNo(slot),
+        }
+    }
+
+    /// Stable 6-byte wire encoding (4-byte page, 2-byte slot), used inside
+    /// index keys and log records.
+    pub const WIRE_LEN: usize = 6;
+
+    pub fn encode_into(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.page.0.to_le_bytes());
+        out.extend_from_slice(&self.slot.0.to_le_bytes());
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<Rid> {
+        if bytes.len() < Self::WIRE_LEN {
+            return None;
+        }
+        let page = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+        let slot = u16::from_le_bytes(bytes[4..6].try_into().ok()?);
+        Some(Rid::new(PageId(page), slot))
+    }
+}
+
+impl fmt::Debug for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.page, self.slot.0)
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Transaction identifier, assigned monotonically by the transaction manager.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Sentinel used in log records that are not owned by any transaction
+    /// (e.g. checkpoint records).
+    pub const NONE: TxnId = TxnId(0);
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of an index (one B+-tree). Doubles as the name of the tree
+/// latch and of the index's EOF lock.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IndexId(pub u32);
+
+impl fmt::Debug for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+impl fmt::Display for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of a table (one heap file).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u32);
+
+impl fmt::Debug for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tbl{}", self.0)
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsn_ordering_and_null() {
+        assert!(Lsn::NULL.is_null());
+        assert!(!Lsn::FIRST.is_null());
+        assert!(Lsn(5) < Lsn(9));
+        assert_eq!(Lsn::default(), Lsn::NULL);
+    }
+
+    #[test]
+    fn page_id_file_offset_uses_page_size() {
+        assert_eq!(PageId(0).file_offset(), 0);
+        assert_eq!(PageId(3).file_offset(), 3 * crate::page::PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn rid_roundtrip() {
+        let rid = Rid::new(PageId(0xDEAD_BEEF), 0x1234);
+        let mut buf = Vec::new();
+        rid.encode_into(&mut buf);
+        assert_eq!(buf.len(), Rid::WIRE_LEN);
+        assert_eq!(Rid::decode(&buf), Some(rid));
+    }
+
+    #[test]
+    fn rid_decode_short_buffer_is_none() {
+        assert_eq!(Rid::decode(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn rid_ordering_is_page_then_slot() {
+        let a = Rid::new(PageId(1), 9);
+        let b = Rid::new(PageId(2), 0);
+        let c = Rid::new(PageId(2), 1);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display_formats_are_compact() {
+        assert_eq!(format!("{}", PageId(7)), "P7");
+        assert_eq!(format!("{}", TxnId(3)), "T3");
+        assert_eq!(format!("{}", Rid::new(PageId(7), 2)), "P7.2");
+        assert_eq!(format!("{}", IndexId(1)), "I1");
+    }
+}

@@ -1,0 +1,346 @@
+//! Raw fixed-size pages and the common page header.
+//!
+//! Every page in the database file — header, space map, heap, index — is a
+//! [`PAGE_SIZE`]-byte buffer beginning with the same 32-byte header. The
+//! fields ARIES/IM relies on live here:
+//!
+//! * `page_lsn` — LSN of the log record describing the most recent update to
+//!   the page (ARIES §1.2: comparing it with a log record's LSN decides redo
+//!   applicability unambiguously);
+//! * `SM_Bit` flag — set on every page affected by an in-progress structure
+//!   modification operation (paper §2.1);
+//! * `Delete_Bit` flag — set by a key delete on a leaf, consulted by inserts
+//!   that would consume the freed space (paper §3, Figure 11).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! off  len  field
+//!   0    8  page_lsn
+//!   8    4  page_id (self-identification; torn-write detection)
+//!  12    1  page_type
+//!  13    1  flags (bit0 = SM_Bit, bit1 = Delete_Bit)
+//!  14    2  level (index pages: 0 = leaf; heap pages: unused)
+//!  16    4  prev page id (leaf chain / heap file chain)
+//!  20    4  next page id (leaf chain / heap file chain)
+//!  24    4  owner id (IndexId or TableId)
+//!  28    2  slot_count        (managed by slotted layer)
+//!  30    2  heap_top          (managed by slotted layer)
+//!  32       body
+//! ```
+
+use crate::error::{Error, Result};
+use crate::ids::{Lsn, PageId};
+
+/// Size of every database page in bytes.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Length of the common page header; the slotted body starts here.
+pub const PAGE_HEADER_LEN: usize = 32;
+
+const OFF_LSN: usize = 0;
+const OFF_PAGE_ID: usize = 8;
+const OFF_TYPE: usize = 12;
+const OFF_FLAGS: usize = 13;
+const OFF_LEVEL: usize = 14;
+const OFF_PREV: usize = 16;
+const OFF_NEXT: usize = 20;
+const OFF_OWNER: usize = 24;
+pub(crate) const OFF_SLOT_COUNT: usize = 28;
+pub(crate) const OFF_HEAP_TOP: usize = 30;
+
+const FLAG_SM_BIT: u8 = 0x01;
+const FLAG_DELETE_BIT: u8 = 0x02;
+
+/// Discriminates what a page is used for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum PageType {
+    /// Page 0: database header (catalog roots, page count).
+    Header = 1,
+    /// Allocation space map.
+    SpaceMap = 2,
+    /// Heap data page holding records.
+    Heap = 3,
+    /// B+-tree leaf: keys are (key-value, RID) pairs (paper §1.1).
+    IndexLeaf = 4,
+    /// B+-tree nonleaf: child pointers and high keys (paper §1.1).
+    IndexNonLeaf = 5,
+    /// Deallocated page on the free list.
+    Free = 6,
+}
+
+impl PageType {
+    pub fn from_u8(v: u8) -> Option<PageType> {
+        Some(match v {
+            1 => PageType::Header,
+            2 => PageType::SpaceMap,
+            3 => PageType::Heap,
+            4 => PageType::IndexLeaf,
+            5 => PageType::IndexNonLeaf,
+            6 => PageType::Free,
+            _ => return None,
+        })
+    }
+
+    pub fn is_index(self) -> bool {
+        matches!(self, PageType::IndexLeaf | PageType::IndexNonLeaf)
+    }
+}
+
+/// An owned page image. Heap-allocated; the buffer pool holds one per frame.
+pub struct PageBuf {
+    bytes: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Clone for PageBuf {
+    fn clone(&self) -> Self {
+        PageBuf {
+            bytes: Box::new(*self.bytes),
+        }
+    }
+}
+
+impl Default for PageBuf {
+    fn default() -> Self {
+        PageBuf::zeroed()
+    }
+}
+
+impl PageBuf {
+    /// All-zero page (page_lsn NULL, type byte 0 = invalid until formatted).
+    pub fn zeroed() -> PageBuf {
+        PageBuf {
+            bytes: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+        }
+    }
+
+    /// Build from raw bytes read off disk.
+    pub fn from_bytes(src: &[u8]) -> Result<PageBuf> {
+        if src.len() != PAGE_SIZE {
+            return Err(Error::Internal(format!(
+                "page image of {} bytes, expected {PAGE_SIZE}",
+                src.len()
+            )));
+        }
+        let mut p = PageBuf::zeroed();
+        p.bytes.copy_from_slice(src);
+        Ok(p)
+    }
+
+    /// Format as a fresh page of the given type, clearing the body.
+    pub fn format(&mut self, id: PageId, ty: PageType, owner: u32, level: u16) {
+        self.bytes.fill(0);
+        self.set_page_id(id);
+        self.set_page_type(ty);
+        self.set_owner(owner);
+        self.set_level(level);
+        self.set_prev(PageId::NULL);
+        self.set_next(PageId::NULL);
+        // Slotted body bookkeeping: empty slot array, heap grows down from end.
+        // PAGE_SIZE (8192) fits in u16.
+        self.put_u16(OFF_SLOT_COUNT, 0);
+        self.put_u16(OFF_HEAP_TOP, PAGE_SIZE as u16);
+    }
+
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.bytes
+    }
+
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.bytes
+    }
+
+    // --- primitive field access -------------------------------------------
+
+    #[inline]
+    pub(crate) fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.bytes[off..off + 2].try_into().unwrap())
+    }
+
+    #[inline]
+    pub(crate) fn put_u16(&mut self, off: usize, v: u16) {
+        self.bytes[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn get_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[off..off + 4].try_into().unwrap())
+    }
+
+    #[inline]
+    fn put_u32(&mut self, off: usize, v: u32) {
+        self.bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    // --- header fields -----------------------------------------------------
+
+    pub fn page_lsn(&self) -> Lsn {
+        Lsn(u64::from_le_bytes(
+            self.bytes[OFF_LSN..OFF_LSN + 8].try_into().unwrap(),
+        ))
+    }
+
+    pub fn set_page_lsn(&mut self, lsn: Lsn) {
+        self.bytes[OFF_LSN..OFF_LSN + 8].copy_from_slice(&lsn.0.to_le_bytes());
+    }
+
+    pub fn page_id(&self) -> PageId {
+        PageId(self.get_u32(OFF_PAGE_ID))
+    }
+
+    pub fn set_page_id(&mut self, id: PageId) {
+        self.put_u32(OFF_PAGE_ID, id.0);
+    }
+
+    pub fn page_type(&self) -> Result<PageType> {
+        PageType::from_u8(self.bytes[OFF_TYPE]).ok_or_else(|| Error::CorruptPage {
+            page: self.page_id(),
+            reason: format!("invalid page type byte {}", self.bytes[OFF_TYPE]),
+        })
+    }
+
+    pub fn set_page_type(&mut self, ty: PageType) {
+        self.bytes[OFF_TYPE] = ty as u8;
+    }
+
+    /// The SM_Bit: '1' while the page participates in a not-yet-completed SMO.
+    pub fn sm_bit(&self) -> bool {
+        self.bytes[OFF_FLAGS] & FLAG_SM_BIT != 0
+    }
+
+    pub fn set_sm_bit(&mut self, v: bool) {
+        if v {
+            self.bytes[OFF_FLAGS] |= FLAG_SM_BIT;
+        } else {
+            self.bytes[OFF_FLAGS] &= !FLAG_SM_BIT;
+        }
+    }
+
+    /// The Delete_Bit: '1' after a key delete freed space on this leaf
+    /// (paper §3, Figure 11 precaution).
+    pub fn delete_bit(&self) -> bool {
+        self.bytes[OFF_FLAGS] & FLAG_DELETE_BIT != 0
+    }
+
+    pub fn set_delete_bit(&mut self, v: bool) {
+        if v {
+            self.bytes[OFF_FLAGS] |= FLAG_DELETE_BIT;
+        } else {
+            self.bytes[OFF_FLAGS] &= !FLAG_DELETE_BIT;
+        }
+    }
+
+    /// Index level: 0 for leaves, parents are child level + 1.
+    pub fn level(&self) -> u16 {
+        self.get_u16(OFF_LEVEL)
+    }
+
+    pub fn set_level(&mut self, v: u16) {
+        self.put_u16(OFF_LEVEL, v);
+    }
+
+    pub fn prev(&self) -> PageId {
+        PageId(self.get_u32(OFF_PREV))
+    }
+
+    pub fn set_prev(&mut self, id: PageId) {
+        self.put_u32(OFF_PREV, id.0);
+    }
+
+    pub fn next(&self) -> PageId {
+        PageId(self.get_u32(OFF_NEXT))
+    }
+
+    pub fn set_next(&mut self, id: PageId) {
+        self.put_u32(OFF_NEXT, id.0);
+    }
+
+    /// Owning object (IndexId.0 or TableId.0 depending on page type).
+    pub fn owner(&self) -> u32 {
+        self.get_u32(OFF_OWNER)
+    }
+
+    pub fn set_owner(&mut self, v: u32) {
+        self.put_u32(OFF_OWNER, v);
+    }
+}
+
+impl std::fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageBuf")
+            .field("id", &self.page_id())
+            .field("type", &PageType::from_u8(self.bytes[OFF_TYPE]))
+            .field("lsn", &self.page_lsn())
+            .field("sm_bit", &self.sm_bit())
+            .field("delete_bit", &self.delete_bit())
+            .field("level", &self.level())
+            .field("prev", &self.prev())
+            .field("next", &self.next())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_resets_everything() {
+        let mut p = PageBuf::zeroed();
+        p.set_page_lsn(Lsn(99));
+        p.set_sm_bit(true);
+        p.format(PageId(7), PageType::IndexLeaf, 3, 0);
+        assert_eq!(p.page_id(), PageId(7));
+        assert_eq!(p.page_type().unwrap(), PageType::IndexLeaf);
+        assert_eq!(p.owner(), 3);
+        assert_eq!(p.page_lsn(), Lsn::NULL);
+        assert!(!p.sm_bit());
+        assert!(!p.delete_bit());
+        assert!(p.prev().is_null() && p.next().is_null());
+    }
+
+    #[test]
+    fn flags_are_independent() {
+        let mut p = PageBuf::zeroed();
+        p.format(PageId(1), PageType::IndexLeaf, 0, 0);
+        p.set_sm_bit(true);
+        p.set_delete_bit(true);
+        assert!(p.sm_bit() && p.delete_bit());
+        p.set_sm_bit(false);
+        assert!(!p.sm_bit() && p.delete_bit());
+        p.set_delete_bit(false);
+        assert!(!p.sm_bit() && !p.delete_bit());
+    }
+
+    #[test]
+    fn bad_type_byte_is_corrupt_page() {
+        let p = PageBuf::zeroed(); // type byte 0
+        assert!(matches!(p.page_type(), Err(Error::CorruptPage { .. })));
+    }
+
+    #[test]
+    fn from_bytes_rejects_wrong_length() {
+        assert!(PageBuf::from_bytes(&[0u8; 100]).is_err());
+        assert!(PageBuf::from_bytes(&[0u8; PAGE_SIZE]).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut p = PageBuf::zeroed();
+        p.format(PageId(5), PageType::Heap, 2, 0);
+        p.set_page_lsn(Lsn(1234));
+        p.set_next(PageId(6));
+        let q = PageBuf::from_bytes(p.as_bytes().as_slice()).unwrap();
+        assert_eq!(q.page_id(), PageId(5));
+        assert_eq!(q.page_lsn(), Lsn(1234));
+        assert_eq!(q.next(), PageId(6));
+    }
+
+    #[test]
+    fn page_type_is_index() {
+        assert!(PageType::IndexLeaf.is_index());
+        assert!(PageType::IndexNonLeaf.is_index());
+        assert!(!PageType::Heap.is_index());
+    }
+}

@@ -1,0 +1,239 @@
+//! Instrumentation counters.
+//!
+//! The paper's efficiency measures (§1) are "the number of locks acquired,
+//! the number of pages accessed during redo, undo, and normal operations,
+//! the number of passes of the log made during media recovery, and the number
+//! of required synchronous data base page and log I/Os". Every subsystem
+//! increments these shared counters so the benchmark harness can print
+//! exactly those comparisons for ARIES/IM vs its baselines.
+//!
+//! Counters are plain relaxed atomics: they order nothing and must never be
+//! used for synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+macro_rules! counters {
+    ($( $(#[$doc:meta])* $name:ident ),* $(,)?) => {
+        /// Live counter block, shared via [`StatsHandle`].
+        #[derive(Default)]
+        pub struct Stats {
+            $( $(#[$doc])* pub $name: AtomicU64, )*
+        }
+
+        /// A point-in-time copy of every counter.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+        pub struct StatsSnapshot {
+            $( pub $name: u64, )*
+        }
+
+        impl Stats {
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $name: self.$name.load(Ordering::Relaxed), )*
+                }
+            }
+
+            pub fn reset(&self) {
+                $( self.$name.store(0, Ordering::Relaxed); )*
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Per-counter difference `self - earlier` (saturating).
+            pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $name: self.$name.saturating_sub(earlier.$name), )*
+                }
+            }
+
+            /// (name, value) pairs for table printers.
+            pub fn entries(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($name), self.$name), )* ]
+            }
+        }
+    };
+}
+
+counters! {
+    // --- lock manager ----------------------------------------------------
+    /// Lock requests granted (any name, any mode, any duration).
+    locks_acquired,
+    /// Lock requests that blocked (unconditional wait actually occurred).
+    lock_waits,
+    /// Conditional lock requests denied (the §2.2 release-latches path).
+    lock_conditional_denials,
+    /// Locks acquired on record RIDs (data-only locking).
+    locks_record,
+    /// Locks acquired on index key values (index-specific / KVL locking).
+    locks_keyvalue,
+    /// Locks acquired on the per-index EOF name.
+    locks_eof,
+    /// Instant-duration lock acquisitions.
+    locks_instant,
+    /// Commit-duration lock acquisitions.
+    locks_commit,
+    /// Next-key locks acquired by index insert/delete/fetch protocols.
+    locks_next_key,
+    /// Deadlocks detected (victims chosen).
+    deadlocks,
+
+    // --- latches ----------------------------------------------------------
+    /// Page latch acquisitions (S or X).
+    latches_page,
+    /// Page latch acquisitions that had to wait.
+    latch_page_waits,
+    /// Tree latch acquisitions (S, X or instant).
+    latches_tree,
+    /// Tree latch acquisitions that had to wait.
+    latch_tree_waits,
+    /// Instant-duration tree latch acquisitions (POSC establishment).
+    latches_tree_instant,
+
+    // --- buffer pool / I/O --------------------------------------------------
+    /// Page fixes (buffer pool lookups).
+    page_fixes,
+    /// Pages read from disk (misses).
+    page_reads,
+    /// Pages written to disk.
+    page_writes,
+    /// Synchronous log flushes (forced writes).
+    log_forces,
+    /// Log records appended.
+    log_records,
+    /// Log bytes appended.
+    log_bytes,
+
+    // --- index operations ----------------------------------------------------
+    /// Completed tree traversals (root-to-leaf descents).
+    tree_traversals,
+    /// Traversals restarted because of an unfinished SMO (ambiguity path).
+    traversal_restarts,
+    /// Page split SMOs performed.
+    smo_splits,
+    /// Page deletion SMOs performed.
+    smo_page_deletes,
+    /// Key inserts performed.
+    index_inserts,
+    /// Key deletes performed.
+    index_deletes,
+    /// Fetch / fetch-next calls served.
+    index_fetches,
+
+    // --- recovery ---------------------------------------------------------------
+    /// Log records examined during the redo pass.
+    redo_records_seen,
+    /// Updates actually redone (page_lsn < record LSN).
+    redo_applied,
+    /// Tree traversals performed during the redo pass. The paper requires
+    /// this to be zero: redo is always page-oriented.
+    redo_traversals,
+    /// Undo actions performed page-oriented (no traversal).
+    undo_page_oriented,
+    /// Undo actions that required a logical undo (retraversal from root).
+    undo_logical,
+    /// Pages read from disk during restart recovery.
+    restart_page_reads,
+    /// Log passes performed during media recovery.
+    media_recovery_passes,
+}
+
+/// Shared handle to a counter block.
+pub type StatsHandle = Arc<Stats>;
+
+/// Convenience constructor.
+pub fn new_stats() -> StatsHandle {
+    Arc::new(Stats::default())
+}
+
+impl Stats {
+    /// Relaxed increment; use through the named counter field:
+    /// `stats.locks_acquired.bump()` reads better via the extension trait.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Extension so call sites read `stats.page_fixes.bump()`.
+pub trait Bump {
+    fn bump(&self);
+    fn add(&self, n: u64);
+    fn get(&self) -> u64;
+}
+
+impl Bump for AtomicU64 {
+    #[inline]
+    fn bump(&self) {
+        self.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add(&self, n: u64) {
+        self.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn get(&self) -> u64 {
+        self.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_diff() {
+        let s = new_stats();
+        s.locks_acquired.bump();
+        s.locks_acquired.bump();
+        let a = s.snapshot();
+        s.locks_acquired.bump();
+        s.page_fixes.add(5);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.locks_acquired, 1);
+        assert_eq!(d.page_fixes, 5);
+        assert_eq!(d.lock_waits, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_all() {
+        let s = new_stats();
+        s.smo_splits.add(3);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn entries_lists_every_counter_once() {
+        let snap = new_stats().snapshot();
+        let names: Vec<_> = snap.entries().iter().map(|(n, _)| *n).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+        assert!(names.contains(&"redo_traversals"));
+        assert!(names.contains(&"locks_next_key"));
+    }
+
+    #[test]
+    fn concurrent_bumps_do_not_lose_counts() {
+        let s = new_stats();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = &s;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.latches_page.bump();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.latches_page.get(), 4000);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests: the slotted page against simple models.
+//!
+//! The positional API (index pages) is modelled by a `Vec<Vec<u8>>`; the
+//! allocating API (heap pages) by a `Vec<Option<Vec<u8>>>` with stable
+//! indices. Any sequence of operations that the model accepts must leave the
+//! page with identical contents, and space accounting must never lie.
+
+use ariesim_common::ids::{PageId, SlotNo};
+use ariesim_common::page::{PageBuf, PageType};
+use ariesim_common::slotted::SLOT_LEN;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum PosOp {
+    Insert(u16, Vec<u8>),
+    Delete(u16),
+    Replace(u16, Vec<u8>),
+}
+
+fn pos_op() -> impl Strategy<Value = PosOp> {
+    prop_oneof![
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..120))
+            .prop_map(|(i, d)| PosOp::Insert(i, d)),
+        any::<u16>().prop_map(PosOp::Delete),
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(i, d)| PosOp::Replace(i, d)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn positional_page_matches_vec_model(ops in proptest::collection::vec(pos_op(), 1..120)) {
+        let mut page = PageBuf::zeroed();
+        page.format(PageId(1), PageType::IndexLeaf, 1, 0);
+        let mut model: Vec<Vec<u8>> = Vec::new();
+
+        for op in ops {
+            match op {
+                PosOp::Insert(i, data) => {
+                    let idx = (i as usize % (model.len() + 1)) as u16;
+                    match page.insert_cell_at(idx, &data) {
+                        Ok(()) => model.insert(idx as usize, data),
+                        // Page full: the model must indeed not have room.
+                        Err(_) => {
+                            let used: usize = model.iter().map(|c| c.len() + SLOT_LEN).sum();
+                            prop_assert!(
+                                used + data.len() + SLOT_LEN > 8192 - 32,
+                                "spurious full: used={used} insert={}",
+                                data.len()
+                            );
+                        }
+                    }
+                }
+                PosOp::Delete(i) => {
+                    if model.is_empty() {
+                        prop_assert!(page.delete_cell_at(0).is_err() || page.slot_count() == 0);
+                        continue;
+                    }
+                    let idx = (i as usize % model.len()) as u16;
+                    let removed = page.delete_cell_at(idx).unwrap();
+                    prop_assert_eq!(&removed, &model.remove(idx as usize));
+                }
+                PosOp::Replace(i, data) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let idx = (i as usize % model.len()) as u16;
+                    if page.replace_cell_at(idx, &data).is_ok() {
+                        model[idx as usize] = data;
+                    }
+                }
+            }
+            // Full-state comparison after every op.
+            prop_assert_eq!(page.slot_count() as usize, model.len());
+            for (j, want) in model.iter().enumerate() {
+                prop_assert_eq!(page.cell(j as u16).unwrap(), &want[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn heap_page_rids_are_stable(ops in proptest::collection::vec(
+        (any::<bool>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 1..100)),
+        1..100,
+    )) {
+        let mut page = PageBuf::zeroed();
+        page.format(PageId(2), PageType::Heap, 1, 0);
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+
+        for (is_alloc, pick, data) in ops {
+            if is_alloc {
+                if let Ok(slot) = page.alloc_cell(&data) {
+                    let s = slot.0 as usize;
+                    if s == model.len() {
+                        model.push(Some(data));
+                    } else {
+                        prop_assert!(model[s].is_none(), "alloc into live slot");
+                        model[s] = Some(data);
+                    }
+                }
+            } else {
+                let live: Vec<usize> = model
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, c)| c.is_some().then_some(i))
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let idx = live[pick as usize % live.len()];
+                let freed = page.free_cell(SlotNo(idx as u16)).unwrap();
+                prop_assert_eq!(Some(freed), model[idx].take());
+            }
+            // Every live RID still reads back its exact contents.
+            for (i, want) in model.iter().enumerate() {
+                match want {
+                    Some(w) => prop_assert_eq!(page.cell(i as u16).unwrap(), &w[..]),
+                    None => prop_assert!(page.cell(i as u16).is_none()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_is_invisible(cells in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..80), 2..40,
+    ), kill in proptest::collection::vec(any::<u16>(), 1..10)) {
+        let mut page = PageBuf::zeroed();
+        page.format(PageId(3), PageType::Heap, 1, 0);
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+        for c in &cells {
+            if page.alloc_cell(c).is_ok() {
+                model.push(Some(c.clone()));
+            }
+        }
+        for k in kill {
+            let idx = k as usize % model.len();
+            if model[idx].is_some() {
+                page.free_cell(SlotNo(idx as u16)).unwrap();
+                model[idx] = None;
+            }
+        }
+        page.compact();
+        for (i, want) in model.iter().enumerate() {
+            match want {
+                Some(w) => prop_assert_eq!(page.cell(i as u16).unwrap(), &w[..]),
+                None => prop_assert!(page.cell(i as u16).is_none()),
+            }
+        }
+        // After compaction all free space is contiguous.
+        prop_assert_eq!(page.contiguous_free(), page.total_free());
+    }
+}

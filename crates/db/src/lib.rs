@@ -1,0 +1,332 @@
+//! Facade engine: a small multi-table database assembled from the ARIES/IM
+//! stack, with crash simulation and restart.
+//!
+//! This is what the examples, the cross-crate tests and the benchmark
+//! harness drive. It wires together the write-ahead log, buffer pool, lock
+//! manager, heap record manager, ARIES/IM B+-tree indexes and restart
+//! recovery, and implements the *data-only locking* contract of the paper's
+//! §2.1: the record manager's commit-duration X lock on a RID covers every
+//! index key derived from that record, and an index fetch's S lock on a key
+//! covers the subsequent record read.
+//!
+//! Crash simulation: [`Db::crash`] drops every volatile structure without
+//! flushing; reopening with [`Db::open`] runs ARIES restart over exactly
+//! {flushed log prefix, on-disk pages}. [`Db::crash_truncating_log_to`]
+//! additionally truncates the durable log at a chosen LSN, simulating a
+//! crash at an *earlier* instant (e.g. mid-SMO, before a dummy CLR reached
+//! disk — the Figure 11 family of states).
+
+pub mod catalog;
+pub mod table;
+pub mod verify;
+
+use ariesim_btree::{BTree, IndexRm, LockProtocol};
+use ariesim_common::stats::{new_stats, StatsHandle};
+use ariesim_common::{Error, IndexId, Lsn, Result, TableId};
+use ariesim_lock::LockManager;
+use ariesim_record::HeapManager;
+use ariesim_recovery::RestartOutcome;
+use ariesim_storage::{BufferPool, DiskManager, PoolOptions, SpaceMap, SpaceRm};
+use ariesim_txn::{RmRegistry, TransactionManager, TxnHandle};
+use ariesim_wal::{LogManager, LogOptions};
+use catalog::{Catalog, IndexDef, TableDef};
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+pub use ariesim_btree::fetch::{FetchCond, FetchResult};
+pub use table::Row;
+
+/// Database configuration.
+#[derive(Clone, Debug)]
+pub struct DbOptions {
+    /// Buffer pool frames.
+    pub frames: usize,
+    /// Index locking protocol (paper §2.1).
+    pub protocol: LockProtocol,
+    /// Data-only locking at page granularity: lock data pages instead of
+    /// records (§2.1's "the locking granularity (page, record, ...)
+    /// associated with the table/file"). Fewer locks, less concurrency.
+    pub page_granularity: bool,
+    /// fsync the log on every force (off for tests; crashes are simulated at
+    /// process level).
+    pub fsync: bool,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            frames: 1024,
+            protocol: LockProtocol::DataOnly,
+            page_granularity: false,
+            fsync: false,
+        }
+    }
+}
+
+/// The assembled database engine.
+pub struct Db {
+    dir: PathBuf,
+    opts: DbOptions,
+    pub stats: StatsHandle,
+    pub log: Arc<LogManager>,
+    pub pool: Arc<BufferPool>,
+    pub locks: Arc<LockManager>,
+    pub rms: Arc<RmRegistry>,
+    pub tm: Arc<TransactionManager>,
+    pub heap: Arc<HeapManager>,
+    pub index_rm: Arc<IndexRm>,
+    pub(crate) catalog: Mutex<Catalog>,
+    /// Outcome of the restart recovery this open performed (if any work).
+    pub restart_outcome: Option<RestartOutcome>,
+}
+
+impl Db {
+    /// Create or open the database in `dir`, running restart recovery over
+    /// whatever state is there.
+    pub fn open(dir: &Path, opts: DbOptions) -> Result<Arc<Db>> {
+        std::fs::create_dir_all(dir)?;
+        let stats = new_stats();
+        let log = Arc::new(LogManager::open(
+            &dir.join("wal"),
+            LogOptions { fsync: opts.fsync },
+            stats.clone(),
+        )?);
+        let disk = DiskManager::open(&dir.join("pages"), stats.clone())?;
+        let fresh = disk.page_count()? == 0;
+        let pool = BufferPool::new(
+            disk,
+            log.clone(),
+            PoolOptions { frames: opts.frames },
+            stats.clone(),
+        );
+        if fresh {
+            SpaceMap::initialize(&pool)?;
+            Catalog::format_page(&pool)?;
+            pool.flush_all()?;
+        }
+        let locks = Arc::new(LockManager::new(stats.clone()));
+        let rms = Arc::new(RmRegistry::new());
+        let heap = HeapManager::new_with_granularity(
+            pool.clone(),
+            locks.clone(),
+            log.clone(),
+            stats.clone(),
+            opts.page_granularity,
+        );
+        let index_rm = IndexRm::new(pool.clone(), stats.clone());
+        rms.register(heap.clone());
+        rms.register(index_rm.clone());
+        rms.register(Arc::new(SpaceRm::new(pool.clone())));
+        let tm = Arc::new(TransactionManager::new(
+            log.clone(),
+            locks.clone(),
+            pool.clone(),
+            rms.clone(),
+            stats.clone(),
+        ));
+        let heap_hook = heap.clone();
+        tm.on_end(Arc::new(move |txn| heap_hook.on_txn_end(txn)));
+
+        // Load the catalog and register every index with the resource
+        // manager *before* recovery: logical undo needs the trees.
+        let catalog = Catalog::load(&pool)?;
+        let mut trees = Vec::new();
+        for def in catalog.indexes() {
+            let tree = BTree::new_with_granularity(
+                def.id,
+                def.root,
+                def.unique,
+                opts.protocol,
+                opts.page_granularity,
+                pool.clone(),
+                locks.clone(),
+                log.clone(),
+                stats.clone(),
+            );
+            index_rm.register_tree(tree.clone());
+            trees.push(tree);
+        }
+
+        // Restart recovery (a no-op scan on a fresh database).
+        let outcome = ariesim_recovery::restart(&log, &pool, &rms, &stats)?;
+        tm.resume_txn_ids_after(outcome.max_txn_id);
+
+        let mut catalog = catalog;
+        for tree in trees {
+            catalog.attach_tree(tree);
+        }
+        Ok(Arc::new(Db {
+            dir: dir.to_path_buf(),
+            opts,
+            stats,
+            log,
+            pool,
+            locks,
+            rms,
+            tm,
+            heap,
+            index_rm,
+            catalog: Mutex::new(catalog),
+            restart_outcome: Some(outcome),
+        }))
+    }
+
+    /// The directory this database lives in.
+    pub fn dir(&self) -> &Path {
+        self.dir.as_path()
+    }
+
+    pub fn options(&self) -> &DbOptions {
+        &self.opts
+    }
+
+    // --- transactions ---------------------------------------------------
+
+    pub fn begin(&self) -> Arc<TxnHandle> {
+        self.tm.begin()
+    }
+
+    pub fn commit(&self, txn: &TxnHandle) -> Result<()> {
+        self.tm.commit(txn)
+    }
+
+    pub fn rollback(&self, txn: &TxnHandle) -> Result<()> {
+        self.tm.rollback(txn)
+    }
+
+    pub fn checkpoint(&self) -> Result<Lsn> {
+        self.tm.checkpoint()
+    }
+
+    /// Take a savepoint in `txn` (roll back to it with
+    /// [`rollback_to`](Self::rollback_to) — ARIES partial rollback, §1.2).
+    pub fn savepoint(&self, txn: &TxnHandle) -> Lsn {
+        txn.savepoint()
+    }
+
+    /// Partial rollback: undo everything `txn` did after `savepoint`; the
+    /// transaction stays active and keeps its locks.
+    pub fn rollback_to(&self, txn: &TxnHandle, savepoint: Lsn) -> Result<()> {
+        self.tm.rollback_to(txn, savepoint)
+    }
+
+    // --- DDL ---------------------------------------------------------------
+    //
+    // DDL runs inside a system transaction for its page-level effects
+    // (allocation, root/first-page formatting are all logged); the catalog
+    // entry itself is force-written at commit (see DESIGN.md §4).
+
+    /// Create a table with `columns` columns.
+    pub fn create_table(&self, name: &str, columns: usize) -> Result<TableId> {
+        let mut cat = self.catalog.lock();
+        if cat.table(name).is_some() {
+            return Err(Error::Internal(format!("table {name} already exists")));
+        }
+        let txn = self.tm.begin();
+        let id = cat.next_table_id();
+        let first_page = self.heap.create_file(&txn, id)?;
+        self.tm.commit(&txn)?;
+        cat.add_table(TableDef {
+            id,
+            name: name.to_string(),
+            first_page,
+            columns: columns as u16,
+        });
+        cat.persist(&self.pool)?;
+        self.pool.flush_all()?;
+        Ok(id)
+    }
+
+    /// Create an index on `table`'s column `column`. Backfills from existing
+    /// rows inside the DDL transaction.
+    pub fn create_index(
+        &self,
+        name: &str,
+        table: &str,
+        column: usize,
+        unique: bool,
+    ) -> Result<IndexId> {
+        let mut cat = self.catalog.lock();
+        let tdef = cat
+            .table(table)
+            .ok_or_else(|| Error::Internal(format!("no table {table}")))?
+            .clone();
+        if cat.index(name).is_some() {
+            return Err(Error::Internal(format!("index {name} already exists")));
+        }
+        let txn = self.tm.begin();
+        let id = cat.next_index_id();
+        let root = BTree::create(&txn, id, &self.pool, &self.log)?;
+        let tree = BTree::new_with_granularity(
+            id,
+            root,
+            unique,
+            self.opts.protocol,
+            self.opts.page_granularity,
+            self.pool.clone(),
+            self.locks.clone(),
+            self.log.clone(),
+            self.stats.clone(),
+        );
+        self.index_rm.register_tree(tree.clone());
+        // Backfill.
+        for (rid, bytes) in self.heap.scan_all(tdef.first_page)? {
+            let row = Row::decode(&bytes)?;
+            let value = row.field(column)?;
+            tree.insert(
+                &txn,
+                &ariesim_common::IndexKey::new(value.to_vec(), rid),
+            )?;
+        }
+        self.tm.commit(&txn)?;
+        let def = IndexDef {
+            id,
+            name: name.to_string(),
+            table: tdef.id,
+            root,
+            column: column as u16,
+            unique,
+        };
+        cat.add_index(def, tree);
+        cat.persist(&self.pool)?;
+        self.pool.flush_all()?;
+        Ok(id)
+    }
+
+    /// Simulate a crash: drop all volatile state without flushing anything.
+    /// Returns the directory; reopen with [`Db::open`] to run recovery.
+    ///
+    /// Consumes the engine. Pending guards/transactions must be gone; the
+    /// caller holds the only remaining `Arc`.
+    pub fn crash(self: Arc<Db>) -> PathBuf {
+        let dir = self.dir.clone();
+        drop(self);
+        dir
+    }
+
+    /// Crash *and* lose the durable log tail beyond `keep_to`: truncates the
+    /// log file at that LSN. Simulates the system failing at the moment the
+    /// log had only been forced that far (e.g. mid-SMO, before the dummy
+    /// CLR). `keep_to` must be a record boundary (an LSN returned by the log)
+    /// and at least the current flushed point of any on-disk page — the
+    /// caller arranges pool sizes so no page with a later LSN was stolen.
+    pub fn crash_truncating_log_to(self: Arc<Db>, keep_to: Lsn) -> Result<PathBuf> {
+        self.log.flush_all()?;
+        let dir = self.dir.clone();
+        drop(self);
+        let log_path = dir.join("wal");
+        let f = std::fs::OpenOptions::new().write(true).open(&log_path)?;
+        f.set_len(keep_to.0)?;
+        Ok(dir)
+    }
+
+    /// Record boundaries of the current log (LSN of every record), for
+    /// choosing crash points.
+    pub fn log_record_lsns(&self) -> Vec<Lsn> {
+        self.log
+            .scan(Lsn::NULL)
+            .filter_map(|r| r.ok().map(|r| r.lsn))
+            .collect()
+    }
+}

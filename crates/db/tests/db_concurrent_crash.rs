@@ -1,0 +1,171 @@
+//! Concurrency meets recovery: multi-threaded workloads followed by
+//! crashes, repeated crash/recover cycles, and checkpoints taken while the
+//! workload is live (fuzzy checkpoints quiesce nothing — §1.2).
+
+use ariesim_common::tmp::TempDir;
+use ariesim_common::Error;
+use ariesim_db::{Db, DbOptions, FetchCond, Row};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn row(t: u32, i: u32) -> Row {
+    Row::new(vec![
+        format!("t{t}-k{i:06}").into_bytes(),
+        format!("v{i}").into_bytes(),
+    ])
+}
+
+fn key_of(t: u32, i: u32) -> Vec<u8> {
+    format!("t{t}-k{i:06}").into_bytes()
+}
+
+fn setup(dir: &TempDir) -> Arc<Db> {
+    let db = Db::open(dir.path(), DbOptions::default()).unwrap();
+    db.create_table("t", 2).unwrap();
+    db.create_index("t_pk", "t", 0, true).unwrap();
+    db
+}
+
+#[test]
+fn concurrent_workload_then_crash_preserves_all_commits() {
+    let dir = TempDir::new("ccrash");
+    let db = setup(&dir);
+    let committed: parking_lot::Mutex<BTreeSet<(u32, u32)>> =
+        parking_lot::Mutex::new(BTreeSet::new());
+    std::thread::scope(|s| {
+        for t in 0..6u32 {
+            let db = db.clone();
+            let committed = &committed;
+            s.spawn(move || {
+                for round in 0..5u32 {
+                    let txn = db.begin();
+                    let mut mine = Vec::new();
+                    for i in 0..30u32 {
+                        let id = round * 100 + i;
+                        match db.insert_row(&txn, "t", &row(t, id)) {
+                            Ok(_) => mine.push(id),
+                            Err(Error::Deadlock { .. }) => {
+                                db.rollback(&txn).unwrap();
+                                mine.clear();
+                                break;
+                            }
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                    if mine.is_empty() {
+                        continue;
+                    }
+                    if round % 2 == 0 {
+                        db.commit(&txn).unwrap();
+                        let mut c = committed.lock();
+                        c.extend(mine.into_iter().map(|i| (t, i)));
+                    } else {
+                        db.rollback(&txn).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    let expected = committed.into_inner();
+    let path = db.crash();
+
+    let db = Db::open(&path, DbOptions::default()).unwrap();
+    let report = db.verify_consistency().unwrap();
+    assert_eq!(report.rows, expected.len());
+    let txn = db.begin();
+    // Spot-check a sample of committed rows.
+    for (t, i) in expected.iter().take(50) {
+        assert!(
+            db.fetch_via(&txn, "t_pk", &key_of(*t, *i), FetchCond::Eq)
+                .unwrap()
+                .is_some(),
+            "committed row t{t}/{i} lost"
+        );
+    }
+    db.commit(&txn).unwrap();
+}
+
+#[test]
+fn checkpoint_during_live_workload_is_fuzzy() {
+    let dir = TempDir::new("ccrash");
+    let db = setup(&dir);
+    // Writers run while the main thread takes checkpoints.
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            let db = db.clone();
+            s.spawn(move || {
+                for round in 0..4u32 {
+                    let txn = db.begin();
+                    for i in 0..50u32 {
+                        db.insert_row(&txn, "t", &row(t, round * 1000 + i)).unwrap();
+                    }
+                    db.commit(&txn).unwrap();
+                }
+            });
+        }
+        for _ in 0..5 {
+            db.checkpoint().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    });
+    let path = db.crash();
+    let db = Db::open(&path, DbOptions::default()).unwrap();
+    let outcome = db.restart_outcome.as_ref().unwrap();
+    assert!(!outcome.ckpt_lsn.is_null(), "analysis started from a checkpoint");
+    let report = db.verify_consistency().unwrap();
+    assert_eq!(report.rows, 4 * 4 * 50);
+}
+
+#[test]
+fn five_crash_recover_cycles_with_work_between() {
+    let dir = TempDir::new("ccrash");
+    let mut path = {
+        let db = setup(&dir);
+        db.crash()
+    };
+    let mut expected = 0usize;
+    for cycle in 0..5u32 {
+        let db = Db::open(&path, DbOptions::default()).unwrap();
+        assert_eq!(db.verify_consistency().unwrap().rows, expected);
+        // Committed work.
+        let txn = db.begin();
+        for i in 0..60u32 {
+            db.insert_row(&txn, "t", &row(cycle, i)).unwrap();
+        }
+        db.commit(&txn).unwrap();
+        expected += 60;
+        // A loser, flushed but never committed.
+        let loser = db.begin();
+        for i in 100..140u32 {
+            db.insert_row(&loser, "t", &row(cycle, i)).unwrap();
+        }
+        db.log.flush_all().unwrap();
+        path = db.crash();
+    }
+    let db = Db::open(&path, DbOptions::default()).unwrap();
+    assert_eq!(db.verify_consistency().unwrap().rows, expected);
+}
+
+#[test]
+fn crash_recover_crash_without_any_intervening_work() {
+    // Recovery must itself be crash-safe: its CLRs make the second restart
+    // a pure redo of the first one's compensation.
+    let dir = TempDir::new("ccrash");
+    let db = setup(&dir);
+    let txn = db.begin();
+    for i in 0..200u32 {
+        db.insert_row(&txn, "t", &row(0, i)).unwrap();
+    }
+    db.commit(&txn).unwrap();
+    let loser = db.begin();
+    for i in 500..620u32 {
+        db.insert_row(&loser, "t", &row(0, i)).unwrap();
+    }
+    db.log.flush_all().unwrap();
+    let mut path = db.crash();
+    for _ in 0..3 {
+        let db = Db::open(&path, DbOptions::default()).unwrap();
+        assert_eq!(db.verify_consistency().unwrap().rows, 200);
+        path = db.crash(); // crash again immediately, pages unflushed
+    }
+}

@@ -1,0 +1,146 @@
+//! Lock modes, the compatibility matrix, the conversion lattice, and
+//! durations — per \[Gray78\], as the paper assumes (§1.2).
+
+/// Lock mode. `IS`/`IX`/`SIX` are intention modes used on coarser granules
+/// (table/file) when record- or key-level locking is in effect.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum LockMode {
+    IS,
+    IX,
+    S,
+    SIX,
+    X,
+}
+
+impl LockMode {
+    /// Gray's compatibility matrix: may a lock in `self` be granted while
+    /// another transaction holds `held`?
+    pub fn compatible_with(self, held: LockMode) -> bool {
+        use LockMode::*;
+        match (self, held) {
+            (IS, X) => false,
+            (IS, _) => true,
+            (IX, IS) | (IX, IX) => true,
+            (IX, _) => false,
+            (S, IS) | (S, S) => true,
+            (S, _) => false,
+            (SIX, IS) => true,
+            (SIX, _) => false,
+            (X, _) => false,
+        }
+    }
+
+    /// Least upper bound in the conversion lattice: the mode a holder of
+    /// `self` must convert to in order to also cover `other`.
+    pub fn sup(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (IS, m) | (m, IS) => m,
+            (IX, S) | (S, IX) => SIX,
+            (IX, SIX) | (SIX, IX) => SIX,
+            (S, SIX) | (SIX, S) => SIX,
+            (X, _) | (_, X) => X,
+            (IX, IX) | (S, S) | (SIX, SIX) => unreachable!(),
+        }
+    }
+
+    /// Does holding `self` make a request for `want` a no-op?
+    /// True iff `sup(self, want) == self`.
+    pub fn covers(self, want: LockMode) -> bool {
+        self.sup(want) == self
+    }
+}
+
+/// How long a granted lock is retained (paper §1.2, Figure 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LockDuration {
+    /// Released as soon as it is granted: the requester only learns that the
+    /// lock *was grantable at that moment*. ARIES/IM's insert uses an instant
+    /// X next-key lock (Figure 2) because the inserted key itself becomes the
+    /// tripping point afterwards (§2.6).
+    Instant,
+    /// Held until explicitly released (or transaction end).
+    Manual,
+    /// Held until the transaction commits or finishes rollback. Deletes hold
+    /// their next-key X lock for commit duration (Figure 2, §2.6).
+    Commit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    const ALL: [LockMode; 5] = [IS, IX, S, SIX, X];
+
+    #[test]
+    fn compatibility_matrix_matches_gray() {
+        // (requested, held) -> compatible
+        let expect = [
+            // IS   IX     S     SIX    X       <- held
+            (IS, [true, true, true, true, false]),
+            (IX, [true, true, false, false, false]),
+            (S, [true, false, true, false, false]),
+            (SIX, [true, false, false, false, false]),
+            (X, [false, false, false, false, false]),
+        ];
+        for (req, row) in expect {
+            for (held, want) in ALL.iter().zip(row) {
+                assert_eq!(
+                    req.compatible_with(*held),
+                    want,
+                    "compat({req:?}, {held:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.compatible_with(b), b.compatible_with(a), "{a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sup_is_commutative_idempotent_and_monotone() {
+        for a in ALL {
+            assert_eq!(a.sup(a), a);
+            for b in ALL {
+                assert_eq!(a.sup(b), b.sup(a));
+                let s = a.sup(b);
+                // sup covers both inputs
+                assert!(s.covers(a) && s.covers(b), "sup({a:?},{b:?})={s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sup_specific_values() {
+        assert_eq!(IX.sup(S), SIX);
+        assert_eq!(S.sup(IX), SIX);
+        assert_eq!(IS.sup(X), X);
+        assert_eq!(SIX.sup(IX), SIX);
+        assert_eq!(S.sup(X), X);
+    }
+
+    #[test]
+    fn covers_examples() {
+        assert!(X.covers(S));
+        assert!(X.covers(IS));
+        assert!(SIX.covers(S) && SIX.covers(IX));
+        assert!(!S.covers(X));
+        assert!(!IX.covers(S));
+    }
+
+    #[test]
+    fn duration_ordering_instant_weakest() {
+        assert!(LockDuration::Instant < LockDuration::Manual);
+        assert!(LockDuration::Manual < LockDuration::Commit);
+    }
+}

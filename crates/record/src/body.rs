@@ -1,0 +1,154 @@
+//! Log-record bodies owned by the heap resource manager.
+
+use ariesim_common::codec::{Reader, Writer};
+use ariesim_common::ids::SlotNo;
+use ariesim_common::{Error, PageId, Result, TableId};
+
+/// A heap log-record body. The affected page is in the record envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HeapBody {
+    /// Record inserted at `slot` with `data`. Undo: delete it.
+    Insert {
+        table: TableId,
+        slot: SlotNo,
+        data: Vec<u8>,
+    },
+    /// Record at `slot` deleted; `data` is the before-image. Undo: re-insert.
+    Delete {
+        table: TableId,
+        slot: SlotNo,
+        data: Vec<u8>,
+    },
+    /// Record at `slot` replaced. Undo: put `old` back.
+    Update {
+        table: TableId,
+        slot: SlotNo,
+        old: Vec<u8>,
+        new: Vec<u8>,
+    },
+    /// Page formatted as a fresh heap page for `table` (file extension NTA).
+    Format { table: TableId },
+    /// `next` chain pointer of this page changed (file extension NTA).
+    ChainNext { old: PageId, new: PageId },
+    /// CLR filler with no page effect (compensation for Format).
+    Noop,
+}
+
+const OP_INSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+const OP_UPDATE: u8 = 3;
+const OP_FORMAT: u8 = 4;
+const OP_CHAIN: u8 = 5;
+const OP_NOOP: u8 = 6;
+
+impl HeapBody {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            HeapBody::Insert { table, slot, data } => {
+                w.u8(OP_INSERT).table_id(*table).u16(slot.0).bytes(data);
+            }
+            HeapBody::Delete { table, slot, data } => {
+                w.u8(OP_DELETE).table_id(*table).u16(slot.0).bytes(data);
+            }
+            HeapBody::Update {
+                table,
+                slot,
+                old,
+                new,
+            } => {
+                w.u8(OP_UPDATE)
+                    .table_id(*table)
+                    .u16(slot.0)
+                    .bytes(old)
+                    .bytes(new);
+            }
+            HeapBody::Format { table } => {
+                w.u8(OP_FORMAT).table_id(*table);
+            }
+            HeapBody::ChainNext { old, new } => {
+                w.u8(OP_CHAIN).page_id(*old).page_id(*new);
+            }
+            HeapBody::Noop => {
+                w.u8(OP_NOOP);
+            }
+        }
+        w.into_vec()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<HeapBody> {
+        let mut r = Reader::new(buf);
+        let op = r.u8()?;
+        Ok(match op {
+            OP_INSERT => HeapBody::Insert {
+                table: r.table_id()?,
+                slot: SlotNo(r.u16()?),
+                data: r.bytes()?.to_vec(),
+            },
+            OP_DELETE => HeapBody::Delete {
+                table: r.table_id()?,
+                slot: SlotNo(r.u16()?),
+                data: r.bytes()?.to_vec(),
+            },
+            OP_UPDATE => HeapBody::Update {
+                table: r.table_id()?,
+                slot: SlotNo(r.u16()?),
+                old: r.bytes()?.to_vec(),
+                new: r.bytes()?.to_vec(),
+            },
+            OP_FORMAT => HeapBody::Format {
+                table: r.table_id()?,
+            },
+            OP_CHAIN => HeapBody::ChainNext {
+                old: r.page_id()?,
+                new: r.page_id()?,
+            },
+            OP_NOOP => HeapBody::Noop,
+            other => {
+                return Err(Error::Internal(format!("bad heap body op {other}")));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let cases = vec![
+            HeapBody::Insert {
+                table: TableId(1),
+                slot: SlotNo(3),
+                data: b"rec".to_vec(),
+            },
+            HeapBody::Delete {
+                table: TableId(1),
+                slot: SlotNo(3),
+                data: b"rec".to_vec(),
+            },
+            HeapBody::Update {
+                table: TableId(2),
+                slot: SlotNo(0),
+                old: b"a".to_vec(),
+                new: b"bb".to_vec(),
+            },
+            HeapBody::Format { table: TableId(9) },
+            HeapBody::ChainNext {
+                old: PageId::NULL,
+                new: PageId(7),
+            },
+            HeapBody::Noop,
+        ];
+        for c in cases {
+            assert_eq!(HeapBody::decode(&c.encode()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn bad_op_is_error() {
+        assert!(HeapBody::decode(&[99]).is_err());
+        assert!(HeapBody::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! Heap record manager.
+//!
+//! Stores table records in slotted data pages, giving out stable RIDs —
+//! the names ARIES/IM's *data-only locking* locks (paper §2.1): a key in an
+//! index is "locked" by locking the record its RID points at, so the record
+//! manager and the index manager synchronize through the same lock names.
+//!
+//! All changes are logged through [`ariesim_wal::RmId::Heap`] records with
+//! page-oriented redo and undo. Heap files grow by appending pages inside
+//! **nested top actions**, so a file extension survives the rollback of the
+//! transaction that triggered it — the same pattern the index uses for page
+//! splits.
+//!
+//! Uncommitted deletes *reserve* their freed space ([`heap`]): an insert
+//! never consumes bytes freed by an in-flight delete, so the undo of a heap
+//! delete can always re-insert page-oriented at the original RID. (Indexes
+//! don't need this — the paper instead allows the undo of a key delete to go
+//! *logical* and split the page; heap RIDs must not move, so prevention
+//! replaces cure. See DESIGN.md.)
+
+pub mod body;
+pub mod heap;
+
+pub use heap::HeapManager;

@@ -1,0 +1,205 @@
+//! The three restart passes.
+
+use ariesim_common::stats::{Bump, StatsHandle};
+use ariesim_common::{Lsn, PageId, Result, TxnId};
+use ariesim_storage::BufferPool;
+use ariesim_txn::RmRegistry;
+use ariesim_wal::{ChainLogger, CheckpointData, LogManager, LogRecord, RecordKind, TxnState};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What restart found and did.
+#[derive(Debug, Default)]
+pub struct RestartOutcome {
+    /// LSN of the checkpoint the analysis pass started from (NULL if none).
+    pub ckpt_lsn: Lsn,
+    /// Where the redo pass began.
+    pub redo_start: Lsn,
+    /// Records examined by analysis.
+    pub analyzed: u64,
+    /// Redoable records examined / actually reapplied.
+    pub redo_seen: u64,
+    pub redo_applied: u64,
+    /// Loser transactions rolled back by the undo pass.
+    pub losers: Vec<TxnId>,
+    /// Undo actions dispatched to resource managers.
+    pub undone: u64,
+    /// Highest transaction id seen (feed to
+    /// `TransactionManager::resume_txn_ids_after`).
+    pub max_txn_id: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    InFlight,
+    Aborting,
+}
+
+struct TEntry {
+    state: TState,
+    last_lsn: Lsn,
+}
+
+/// Run full restart recovery. Call before any new transaction starts; the
+/// pool must be freshly opened over the crashed database file.
+pub fn restart(
+    log: &LogManager,
+    pool: &Arc<BufferPool>,
+    rms: &RmRegistry,
+    stats: &StatsHandle,
+) -> Result<RestartOutcome> {
+    let mut out = RestartOutcome::default();
+
+    // ---------------- Analysis ------------------------------------------------
+    let ckpt_lsn = log.read_master()?;
+    out.ckpt_lsn = ckpt_lsn;
+    let scan_from = if ckpt_lsn.is_null() {
+        log.first_lsn()
+    } else {
+        ckpt_lsn
+    };
+    let mut txns: HashMap<TxnId, TEntry> = HashMap::new();
+    let mut dpt: HashMap<PageId, Lsn> = HashMap::new();
+    let mut ckpt_seen = ckpt_lsn.is_null();
+
+    for rec in log.scan(scan_from) {
+        let rec = rec?;
+        out.analyzed += 1;
+        out.max_txn_id = out.max_txn_id.max(rec.txn.0);
+        match rec.kind {
+            RecordKind::CkptBegin => {}
+            RecordKind::CkptEnd => {
+                if !ckpt_seen {
+                    // Merge the checkpoint's fuzzy tables. For the DPT the
+                    // OLDER rec_lsn must win: rec_lsn is the oldest possibly-
+                    // unapplied update, and records scanned between CkptBegin
+                    // and CkptEnd may have inserted a newer one for a page
+                    // the checkpoint knew was dirty much earlier. (Taking the
+                    // newer value made redo start too late and skip, e.g., a
+                    // page-format record — caught by the fuzzy-checkpoint
+                    // crash test.)
+                    let data = CheckpointData::decode(rec.lsn, &rec.body)?;
+                    out.max_txn_id = out.max_txn_id.max(data.max_txn_id);
+                    for e in data.dpt {
+                        dpt.entry(e.page)
+                            .and_modify(|l| *l = (*l).min(e.rec_lsn))
+                            .or_insert(e.rec_lsn);
+                    }
+                    for t in data.txns {
+                        txns.entry(t.txn).or_insert(TEntry {
+                            state: match t.state {
+                                TxnState::Aborting => TState::Aborting,
+                                TxnState::InFlight => TState::InFlight,
+                            },
+                            last_lsn: t.last_lsn,
+                        });
+                    }
+                    ckpt_seen = true;
+                }
+            }
+            RecordKind::Begin => {
+                txns.insert(
+                    rec.txn,
+                    TEntry {
+                        state: TState::InFlight,
+                        last_lsn: rec.lsn,
+                    },
+                );
+            }
+            RecordKind::Commit | RecordKind::End => {
+                // Commit is forced, so a committed transaction needs no undo
+                // even if its End record is missing.
+                txns.remove(&rec.txn);
+            }
+            RecordKind::Abort => {
+                if let Some(t) = txns.get_mut(&rec.txn) {
+                    t.state = TState::Aborting;
+                    t.last_lsn = rec.lsn;
+                }
+            }
+            RecordKind::Update | RecordKind::Clr | RecordKind::DummyClr => {
+                let t = txns.entry(rec.txn).or_insert(TEntry {
+                    state: TState::InFlight,
+                    last_lsn: rec.lsn,
+                });
+                t.last_lsn = rec.lsn;
+                if rec.kind.is_redoable() && !rec.page.is_null() {
+                    dpt.entry(rec.page).or_insert(rec.lsn);
+                }
+            }
+        }
+    }
+
+    // ---------------- Redo: repeat history ------------------------------------
+    let redo_start = dpt.values().copied().min().unwrap_or(log.next_lsn());
+    out.redo_start = redo_start;
+    for rec in log.scan(redo_start) {
+        let rec = rec?;
+        if !rec.kind.is_redoable() || rec.page.is_null() {
+            continue;
+        }
+        out.redo_seen += 1;
+        stats.redo_records_seen.bump();
+        let Some(&rec_lsn) = dpt.get(&rec.page) else {
+            continue; // page was never (possibly) stale
+        };
+        if rec.lsn < rec_lsn {
+            continue; // older than the page's first possibly-missing update
+        }
+        let mut g = pool.fix_x(rec.page)?;
+        stats.restart_page_reads.bump();
+        if g.page_lsn() < rec.lsn {
+            let rm = rms.get(rec.rm)?;
+            rm.redo(&mut g, &rec)?;
+            g.record_update(rec.lsn);
+            out.redo_applied += 1;
+            stats.redo_applied.bump();
+        }
+    }
+
+    // ---------------- Undo: roll back losers in one backward sweep -----------
+    // next-undo pointer per loser; process the globally largest LSN first.
+    let mut next_undo: HashMap<TxnId, Lsn> = HashMap::new();
+    let mut chain_end: HashMap<TxnId, Lsn> = HashMap::new();
+    for (txn, t) in &txns {
+        next_undo.insert(*txn, t.last_lsn);
+        chain_end.insert(*txn, t.last_lsn);
+        out.losers.push(*txn);
+    }
+    out.losers.sort();
+
+    while let Some((&txn, &lsn)) = next_undo.iter().max_by_key(|(_, &l)| l) {
+        if lsn.is_null() {
+            // This loser is fully undone: write its End record.
+            let mut logger = ChainLogger::for_restart(log, txn, chain_end[&txn]);
+            logger.control(RecordKind::End);
+            next_undo.remove(&txn);
+            chain_end.remove(&txn);
+            continue;
+        }
+        let rec: LogRecord = log.read(lsn)?;
+        debug_assert_eq!(rec.txn, txn);
+        match rec.kind {
+            RecordKind::Update => {
+                let mut logger = ChainLogger::for_restart(log, txn, chain_end[&txn]);
+                let rm = rms.get(rec.rm)?;
+                rm.undo(&mut logger, &rec)?;
+                out.undone += 1;
+                chain_end.insert(txn, logger.last_lsn);
+                next_undo.insert(txn, rec.prev_lsn);
+            }
+            RecordKind::Clr | RecordKind::DummyClr => {
+                next_undo.insert(txn, rec.undo_next_lsn);
+            }
+            RecordKind::Begin => {
+                next_undo.insert(txn, Lsn::NULL);
+            }
+            _ => {
+                next_undo.insert(txn, rec.prev_lsn);
+            }
+        }
+    }
+
+    log.flush_all()?;
+    Ok(out)
+}

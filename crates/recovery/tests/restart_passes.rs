@@ -1,0 +1,251 @@
+//! Unit-level tests of the three restart passes over hand-built logs: the
+//! analysis pass's transaction and dirty-page bookkeeping, the redo pass's
+//! LSN-comparison discipline, and the undo pass's reverse-chronological
+//! multi-transaction sweep.
+
+use ariesim_common::page::PageType;
+use ariesim_common::stats::new_stats;
+use ariesim_common::tmp::TempDir;
+use ariesim_common::{Lsn, PageBuf, PageId, Result, TxnId};
+use ariesim_lock::LockManager;
+use ariesim_recovery::restart;
+use ariesim_storage::{BufferPool, DiskManager, PoolOptions};
+use ariesim_txn::{RmRegistry, TransactionManager};
+use ariesim_wal::{
+    ChainLogger, LogManager, LogOptions, LogRecord, RecordKind, ResourceManager, RmId,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Byte-blob RM: the page body's first byte stores a counter; Update bodies
+/// carry (slot byte, value). Redo sets body[slot]=value; undo sets it back
+/// (body carries old value too).
+struct BlobRm {
+    pool: Arc<BufferPool>,
+    undo_order: Mutex<Vec<(TxnId, u8)>>,
+}
+
+impl BlobRm {
+    fn body(slot: u8, old: u8, new: u8) -> Vec<u8> {
+        vec![slot, old, new]
+    }
+}
+
+const BODY_BASE: usize = 64; // write inside the page body, clear of the header
+
+impl ResourceManager for BlobRm {
+    fn rm_id(&self) -> RmId {
+        RmId::Heap
+    }
+
+    fn redo(&self, page: &mut PageBuf, rec: &LogRecord) -> Result<()> {
+        let (slot, new) = (rec.body[0] as usize, rec.body[2]);
+        page.as_bytes_mut()[BODY_BASE + slot] = new;
+        Ok(())
+    }
+
+    fn undo(&self, logger: &mut ChainLogger<'_>, rec: &LogRecord) -> Result<()> {
+        let (slot, old, new) = (rec.body[0], rec.body[1], rec.body[2]);
+        let mut g = self.pool.fix_x(rec.page)?;
+        g.as_bytes_mut()[BODY_BASE + slot as usize] = old;
+        self.undo_order.lock().push((logger.txn, new));
+        let lsn = logger.clr(
+            RmId::Heap,
+            rec.page,
+            rec.prev_lsn,
+            BlobRm::body(slot, new, old),
+        );
+        g.record_update(lsn);
+        Ok(())
+    }
+}
+
+struct Fix {
+    _dir: TempDir,
+    stats: ariesim_common::stats::StatsHandle,
+    log: Arc<LogManager>,
+    pool: Arc<BufferPool>,
+    rms: Arc<RmRegistry>,
+    rm: Arc<BlobRm>,
+    tm: Arc<TransactionManager>,
+}
+
+fn fix() -> Fix {
+    let dir = TempDir::new("restart");
+    let stats = new_stats();
+    let log = Arc::new(
+        LogManager::open(&dir.file("wal"), LogOptions::default(), stats.clone()).unwrap(),
+    );
+    let disk = DiskManager::open(&dir.file("db"), stats.clone()).unwrap();
+    let pool = BufferPool::new(disk, log.clone(), PoolOptions::default(), stats.clone());
+    // One formatted page everything writes to.
+    {
+        let mut g = pool.fix_x(PageId(3)).unwrap();
+        g.format(PageId(3), PageType::Heap, 0, 0);
+        g.record_update(Lsn(1));
+    }
+    pool.flush_all().unwrap();
+    let locks = Arc::new(LockManager::new(stats.clone()));
+    let rms = Arc::new(RmRegistry::new());
+    let rm = Arc::new(BlobRm {
+        pool: pool.clone(),
+        undo_order: Mutex::new(Vec::new()),
+    });
+    rms.register(rm.clone());
+    let tm = Arc::new(TransactionManager::new(
+        log.clone(),
+        locks,
+        pool.clone(),
+        rms.clone(),
+        stats.clone(),
+    ));
+    Fix {
+        _dir: dir,
+        stats,
+        log,
+        pool,
+        rms,
+        rm,
+        tm,
+    }
+}
+
+/// Apply + log an update through a transaction (mimicking an RM operation).
+fn update(f: &Fix, txn: &ariesim_txn::TxnHandle, slot: u8, old: u8, new: u8) {
+    let mut g = f.pool.fix_x(PageId(3)).unwrap();
+    g.as_bytes_mut()[BODY_BASE + slot as usize] = new;
+    let lsn = txn.with_logger(&f.log, |l| {
+        l.update(RmId::Heap, PageId(3), BlobRm::body(slot, old, new))
+    });
+    g.record_update(lsn);
+}
+
+fn byte_at(f: &Fix, slot: u8) -> u8 {
+    let g = f.pool.fix_s(PageId(3)).unwrap();
+    g.as_bytes()[BODY_BASE + slot as usize]
+}
+
+#[test]
+fn redo_skips_updates_already_on_disk() {
+    let f = fix();
+    let t = f.tm.begin();
+    update(&f, &t, 0, 0, 7);
+    f.tm.commit(&t).unwrap();
+    // Flush the page: its state is durable, page_lsn ≥ the record.
+    f.pool.flush_all().unwrap();
+    let outcome = restart(&f.log, &f.pool, &f.rms, &f.stats).unwrap();
+    assert_eq!(outcome.redo_applied, 0, "already-durable update not redone");
+    assert_eq!(byte_at(&f, 0), 7);
+}
+
+#[test]
+fn redo_reapplies_missing_committed_updates() {
+    let f = fix();
+    let t = f.tm.begin();
+    update(&f, &t, 0, 0, 9);
+    f.tm.commit(&t).unwrap(); // forces the log, NOT the page
+    // Wipe the cached page by reloading from disk state: simulate by
+    // re-reading through a fresh pool over the same files.
+    let stats2 = new_stats();
+    let log2 = Arc::new(
+        LogManager::open(&f._dir.file("wal"), LogOptions::default(), stats2.clone()).unwrap(),
+    );
+    let disk2 = DiskManager::open(&f._dir.file("db"), stats2.clone()).unwrap();
+    let pool2 = BufferPool::new(disk2, log2.clone(), PoolOptions::default(), stats2.clone());
+    let rms2 = Arc::new(RmRegistry::new());
+    let rm2 = Arc::new(BlobRm {
+        pool: pool2.clone(),
+        undo_order: Mutex::new(Vec::new()),
+    });
+    rms2.register(rm2);
+    let outcome = restart(&log2, &pool2, &rms2, &stats2).unwrap();
+    assert_eq!(outcome.redo_applied, 1, "lost update must be redone");
+    let g = pool2.fix_s(PageId(3)).unwrap();
+    assert_eq!(g.as_bytes()[BODY_BASE], 9);
+}
+
+#[test]
+fn undo_sweep_is_reverse_chronological_across_transactions() {
+    // Two losers with interleaved updates: the single backward sweep must
+    // undo strictly by descending LSN, regardless of owner.
+    let f = fix();
+    let t1 = f.tm.begin();
+    let t2 = f.tm.begin();
+    update(&f, &t1, 0, 0, 1); // LSN order: 1
+    update(&f, &t2, 1, 0, 2); // 2
+    update(&f, &t1, 2, 0, 3); // 3
+    update(&f, &t2, 3, 0, 4); // 4
+    f.log.flush_all().unwrap();
+    let outcome = restart(&f.log, &f.pool, &f.rms, &f.stats).unwrap();
+    assert_eq!(outcome.losers.len(), 2);
+    let order: Vec<u8> = f.rm.undo_order.lock().iter().map(|&(_, v)| v).collect();
+    assert_eq!(order, vec![4, 3, 2, 1], "reverse chronological, interleaved");
+    for slot in 0..4u8 {
+        assert_eq!(byte_at(&f, slot), 0, "slot {slot} restored");
+    }
+    // End records written for both losers.
+    let ends = f
+        .log
+        .scan(Lsn::NULL)
+        .map(|r| r.unwrap())
+        .filter(|r| r.kind == RecordKind::End)
+        .count();
+    assert_eq!(ends, 2);
+}
+
+#[test]
+fn committed_but_unended_transaction_is_not_undone() {
+    // Crash between the (forced) Commit record and the End record: analysis
+    // must treat the transaction as committed.
+    let f = fix();
+    let t = f.tm.begin();
+    update(&f, &t, 0, 0, 5);
+    // Hand-write the commit record without the End.
+    t.with_logger(&f.log, |l| l.control(RecordKind::Commit));
+    f.log.flush_all().unwrap();
+    let outcome = restart(&f.log, &f.pool, &f.rms, &f.stats).unwrap();
+    assert!(outcome.losers.is_empty(), "committed txn is not a loser");
+    assert_eq!(byte_at(&f, 0), 5);
+}
+
+#[test]
+fn aborting_transaction_resumes_rollback_at_restart() {
+    // Crash mid-rollback: some CLRs already written. Restart must continue
+    // from where the rollback stopped, not re-undo compensated work.
+    let f = fix();
+    let t = f.tm.begin();
+    update(&f, &t, 0, 0, 1);
+    let sp = t.savepoint();
+    update(&f, &t, 1, 0, 2);
+    // Partial rollback undoes slot 1 and writes its CLR.
+    f.tm.rollback_to(&t, sp).unwrap();
+    assert_eq!(f.rm.undo_order.lock().len(), 1);
+    f.log.flush_all().unwrap();
+    let outcome = restart(&f.log, &f.pool, &f.rms, &f.stats).unwrap();
+    assert_eq!(outcome.losers.len(), 1);
+    // Only slot 0 was left to undo — slot 1's undo must NOT repeat.
+    let order: Vec<u8> = f.rm.undo_order.lock().iter().map(|&(_, v)| v).collect();
+    assert_eq!(order, vec![2, 1], "one undo before crash, one after");
+    assert_eq!(byte_at(&f, 0), 0);
+    assert_eq!(byte_at(&f, 1), 0);
+}
+
+#[test]
+fn restart_on_empty_log_is_a_noop() {
+    let f = fix();
+    let outcome = restart(&f.log, &f.pool, &f.rms, &f.stats).unwrap();
+    assert_eq!(outcome.redo_applied, 0);
+    assert!(outcome.losers.is_empty());
+}
+
+#[test]
+fn max_txn_id_reported_for_id_resumption() {
+    let f = fix();
+    let a = f.tm.begin();
+    let b = f.tm.begin();
+    update(&f, &b, 0, 0, 1);
+    f.tm.commit(&a).unwrap();
+    f.log.flush_all().unwrap();
+    let outcome = restart(&f.log, &f.pool, &f.rms, &f.stats).unwrap();
+    assert!(outcome.max_txn_id >= b.id.0);
+}

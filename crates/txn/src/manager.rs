@@ -1,0 +1,330 @@
+//! Transaction table, lifecycle, nested top actions, checkpoints.
+
+use crate::undo::undo_chain;
+use ariesim_common::stats::StatsHandle;
+use ariesim_common::{Error, Lsn, Result, TxnId};
+use ariesim_lock::LockManager;
+use ariesim_storage::BufferPool;
+use ariesim_wal::{
+    ChainLogger, CheckpointData, LogManager, LogRecord, RecordKind, ResourceManager, RmId,
+    TxnCkptEntry, TxnState,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Registry of resource managers, indexed by [`RmId`].
+#[derive(Default)]
+pub struct RmRegistry {
+    slots: Mutex<HashMap<u8, Arc<dyn ResourceManager>>>,
+}
+
+impl RmRegistry {
+    pub fn new() -> RmRegistry {
+        RmRegistry::default()
+    }
+
+    pub fn register(&self, rm: Arc<dyn ResourceManager>) {
+        self.slots.lock().insert(rm.rm_id() as u8, rm);
+    }
+
+    pub fn get(&self, id: RmId) -> Result<Arc<dyn ResourceManager>> {
+        self.slots
+            .lock()
+            .get(&(id as u8))
+            .cloned()
+            .ok_or_else(|| Error::Internal(format!("no resource manager registered for {id:?}")))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Active,
+    Aborting,
+    Finished,
+}
+
+struct TxnInner {
+    last_lsn: Lsn,
+    phase: Phase,
+}
+
+/// A live transaction. Handles are cheap to clone; one transaction is driven
+/// by one thread at a time (the engine's sessions model), but the handle is
+/// `Send + Sync` so scenario tests can pass transactions across threads.
+pub struct TxnHandle {
+    pub id: TxnId,
+    inner: Mutex<TxnInner>,
+}
+
+impl TxnHandle {
+    /// LSN of this transaction's most recent log record.
+    pub fn last_lsn(&self) -> Lsn {
+        self.inner.lock().last_lsn
+    }
+
+    /// Run `f` with this transaction's chain logger; the chain cursor is
+    /// written back when `f` returns. This is how resource managers append
+    /// correctly linked records.
+    pub fn with_logger<R>(
+        &self,
+        log: &LogManager,
+        f: impl FnOnce(&mut ChainLogger<'_>) -> R,
+    ) -> R {
+        let mut g = self.inner.lock();
+        let mut logger = ChainLogger::new(log, self.id, g.last_lsn);
+        let r = f(&mut logger);
+        g.last_lsn = logger.last_lsn;
+        r
+    }
+
+    /// Begin a nested top action: returns the token [`end_nta`](Self::end_nta)
+    /// needs (the LSN of the last record written *before* the NTA; paper §1.2).
+    pub fn begin_nta(&self) -> Lsn {
+        self.inner.lock().last_lsn
+    }
+
+    /// End a nested top action by writing the dummy CLR whose
+    /// `undo_next_lsn` is the token from [`begin_nta`](Self::begin_nta).
+    /// Returns the dummy CLR's LSN.
+    pub fn end_nta(&self, log: &LogManager, token: Lsn) -> Lsn {
+        self.with_logger(log, |l| l.dummy_clr(token))
+    }
+
+    /// Current savepoint: roll back to this with
+    /// [`TransactionManager::rollback_to`].
+    pub fn savepoint(&self) -> Lsn {
+        self.inner.lock().last_lsn
+    }
+
+    fn check_active(&self) -> Result<()> {
+        let g = self.inner.lock();
+        match g.phase {
+            Phase::Active => Ok(()),
+            Phase::Aborting => Err(Error::BadTxnState {
+                txn: self.id,
+                state: "aborting",
+            }),
+            Phase::Finished => Err(Error::BadTxnState {
+                txn: self.id,
+                state: "finished",
+            }),
+        }
+    }
+}
+
+struct TmInner {
+    next_txn: u64,
+    table: HashMap<TxnId, Arc<TxnHandle>>,
+}
+
+/// Callback invoked when a transaction finishes (commit or total rollback),
+/// after its locks are released. Resource managers use this to drop
+/// transaction-scoped state (e.g. the heap manager's space reservations).
+pub type EndHook = Arc<dyn Fn(TxnId) + Send + Sync>;
+
+/// The transaction manager.
+pub struct TransactionManager {
+    log: Arc<LogManager>,
+    locks: Arc<LockManager>,
+    pool: Arc<BufferPool>,
+    rms: Arc<RmRegistry>,
+    inner: Mutex<TmInner>,
+    end_hooks: Mutex<Vec<EndHook>>,
+    #[allow(dead_code)]
+    stats: StatsHandle,
+}
+
+impl TransactionManager {
+    pub fn new(
+        log: Arc<LogManager>,
+        locks: Arc<LockManager>,
+        pool: Arc<BufferPool>,
+        rms: Arc<RmRegistry>,
+        stats: StatsHandle,
+    ) -> TransactionManager {
+        TransactionManager {
+            log,
+            locks,
+            pool,
+            rms,
+            inner: Mutex::new(TmInner {
+                next_txn: 1,
+                table: HashMap::new(),
+            }),
+            end_hooks: Mutex::new(Vec::new()),
+            stats,
+        }
+    }
+
+    pub fn log(&self) -> &Arc<LogManager> {
+        &self.log
+    }
+
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    pub fn rms(&self) -> &Arc<RmRegistry> {
+        &self.rms
+    }
+
+    /// Register a transaction-end hook (see [`EndHook`]).
+    pub fn on_end(&self, hook: EndHook) {
+        self.end_hooks.lock().push(hook);
+    }
+
+    fn run_end_hooks(&self, txn: TxnId) {
+        let hooks: Vec<EndHook> = self.end_hooks.lock().clone();
+        for h in hooks {
+            h(txn);
+        }
+    }
+
+    /// Restart recovery tells the manager the highest transaction id seen in
+    /// the log, so new ids never collide with pre-crash ones.
+    pub fn resume_txn_ids_after(&self, max_seen: u64) {
+        let mut g = self.inner.lock();
+        if g.next_txn <= max_seen {
+            g.next_txn = max_seen + 1;
+        }
+    }
+
+    /// Start a transaction. Writes its Begin record.
+    pub fn begin(&self) -> Arc<TxnHandle> {
+        let id = {
+            let mut g = self.inner.lock();
+            let id = TxnId(g.next_txn);
+            g.next_txn += 1;
+            id
+        };
+        let handle = Arc::new(TxnHandle {
+            id,
+            inner: Mutex::new(TxnInner {
+                last_lsn: Lsn::NULL,
+                phase: Phase::Active,
+            }),
+        });
+        let lsn = self
+            .log
+            .append(&LogRecord::control(id, Lsn::NULL, RecordKind::Begin));
+        handle.inner.lock().last_lsn = lsn;
+        self.inner.lock().table.insert(id, handle.clone());
+        handle
+    }
+
+    /// Commit: write and **force** the commit record, release locks, write
+    /// End. (The force is the only synchronous I/O a transaction requires —
+    /// the paper's §1 efficiency measure.)
+    pub fn commit(&self, txn: &TxnHandle) -> Result<()> {
+        txn.check_active()?;
+        let commit_lsn = txn.with_logger(&self.log, |l| l.control(RecordKind::Commit));
+        self.log.flush_to(commit_lsn)?;
+        self.locks.release_all(txn.id);
+        self.run_end_hooks(txn.id);
+        txn.with_logger(&self.log, |l| l.control(RecordKind::End));
+        txn.inner.lock().phase = Phase::Finished;
+        self.inner.lock().table.remove(&txn.id);
+        Ok(())
+    }
+
+    /// Total rollback: undo the whole chain, then release locks and End.
+    ///
+    /// Per paper §4, the undo path requests **no locks** (only latches), so a
+    /// rolling-back transaction can never join a deadlock.
+    pub fn rollback(&self, txn: &TxnHandle) -> Result<()> {
+        {
+            let mut g = txn.inner.lock();
+            if g.phase == Phase::Finished {
+                return Err(Error::BadTxnState {
+                    txn: txn.id,
+                    state: "finished",
+                });
+            }
+            g.phase = Phase::Aborting;
+        }
+        txn.with_logger(&self.log, |l| l.control(RecordKind::Abort));
+        let last = txn.last_lsn();
+        let new_last = undo_chain(&self.log, &self.rms, txn.id, last, Lsn::NULL, false)?;
+        {
+            let mut g = txn.inner.lock();
+            g.last_lsn = new_last;
+        }
+        self.locks.release_all(txn.id);
+        self.run_end_hooks(txn.id);
+        txn.with_logger(&self.log, |l| l.control(RecordKind::End));
+        txn.inner.lock().phase = Phase::Finished;
+        self.inner.lock().table.remove(&txn.id);
+        Ok(())
+    }
+
+    /// Partial rollback to a savepoint taken with [`TxnHandle::savepoint`]:
+    /// undoes every record after it; the transaction stays active and keeps
+    /// its locks (ARIES partial-rollback semantics).
+    pub fn rollback_to(&self, txn: &TxnHandle, savepoint: Lsn) -> Result<()> {
+        txn.check_active()?;
+        let last = txn.last_lsn();
+        let new_last = undo_chain(&self.log, &self.rms, txn.id, last, savepoint, false)?;
+        txn.inner.lock().last_lsn = new_last;
+        Ok(())
+    }
+
+    /// Take a fuzzy checkpoint: begin record, snapshot of DPT + transaction
+    /// table, end record, master pointer. Nothing is quiesced or flushed.
+    pub fn checkpoint(&self) -> Result<Lsn> {
+        let begin_lsn = self.log.append(&LogRecord {
+            lsn: Lsn::NULL,
+            prev_lsn: Lsn::NULL,
+            txn: TxnId::NONE,
+            kind: RecordKind::CkptBegin,
+            undo_next_lsn: Lsn::NULL,
+            rm: RmId::Txn,
+            page: ariesim_common::PageId::NULL,
+            body: Vec::new(),
+        });
+        let dpt = self.pool.dpt_snapshot_fenced();
+        let (txns, max_txn_id) = {
+            let g = self.inner.lock();
+            let entries = g
+                .table
+                .values()
+                .map(|t| {
+                    let ti = t.inner.lock();
+                    TxnCkptEntry {
+                        txn: t.id,
+                        state: match ti.phase {
+                            Phase::Aborting => TxnState::Aborting,
+                            _ => TxnState::InFlight,
+                        },
+                        last_lsn: ti.last_lsn,
+                        undo_next_lsn: ti.last_lsn,
+                    }
+                })
+                .collect();
+            (entries, g.next_txn - 1)
+        };
+        let data = CheckpointData {
+            dpt,
+            txns,
+            max_txn_id,
+        };
+        let end = self.log.append(&LogRecord {
+            lsn: Lsn::NULL,
+            prev_lsn: Lsn::NULL,
+            txn: TxnId::NONE,
+            kind: RecordKind::CkptEnd,
+            undo_next_lsn: Lsn::NULL,
+            rm: RmId::Txn,
+            page: ariesim_common::PageId::NULL,
+            body: data.encode(),
+        });
+        self.log.flush_to(end)?;
+        self.log.write_master(begin_lsn)?;
+        Ok(begin_lsn)
+    }
+
+    /// Number of live transactions (for assertions).
+    pub fn active_count(&self) -> usize {
+        self.inner.lock().table.len()
+    }
+}

@@ -1,0 +1,242 @@
+//! Transaction-manager lifecycle tests: commit forces the log, rollbacks
+//! release locks, nested top actions chain correctly, checkpoints snapshot
+//! the fuzzy state, and misuse is rejected.
+
+use ariesim_common::stats::new_stats;
+use ariesim_common::tmp::TempDir;
+use ariesim_common::{Error, Lsn, PageBuf, PageId, Result, TxnId};
+use ariesim_lock::{LockDuration, LockManager, LockMode, LockName};
+use ariesim_storage::{BufferPool, DiskManager, PoolOptions};
+use ariesim_txn::{RmRegistry, TransactionManager};
+use ariesim_wal::{
+    ChainLogger, CheckpointData, LogManager, LogOptions, LogRecord, RecordKind, ResourceManager,
+    RmId,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Toy RM whose undo just records what it undid.
+struct ToyRm {
+    undone: Mutex<Vec<Vec<u8>>>,
+}
+
+impl ResourceManager for ToyRm {
+    fn rm_id(&self) -> RmId {
+        RmId::Heap
+    }
+
+    fn redo(&self, _page: &mut PageBuf, _rec: &LogRecord) -> Result<()> {
+        Ok(())
+    }
+
+    fn undo(&self, logger: &mut ChainLogger<'_>, rec: &LogRecord) -> Result<()> {
+        self.undone.lock().push(rec.body.clone());
+        logger.clr(RmId::Heap, rec.page, rec.prev_lsn, rec.body.clone());
+        Ok(())
+    }
+}
+
+struct Fix {
+    _dir: TempDir,
+    log: Arc<LogManager>,
+    locks: Arc<LockManager>,
+    tm: Arc<TransactionManager>,
+    toy: Arc<ToyRm>,
+}
+
+fn fix() -> Fix {
+    let dir = TempDir::new("txn-it");
+    let stats = new_stats();
+    let log = Arc::new(
+        LogManager::open(&dir.file("wal"), LogOptions::default(), stats.clone()).unwrap(),
+    );
+    let disk = DiskManager::open(&dir.file("db"), stats.clone()).unwrap();
+    let pool = BufferPool::new(disk, log.clone(), PoolOptions::default(), stats.clone());
+    let locks = Arc::new(LockManager::new(stats.clone()));
+    let rms = Arc::new(RmRegistry::new());
+    let toy = Arc::new(ToyRm {
+        undone: Mutex::new(Vec::new()),
+    });
+    rms.register(toy.clone());
+    let tm = Arc::new(TransactionManager::new(
+        log.clone(),
+        locks.clone(),
+        pool,
+        rms,
+        stats,
+    ));
+    Fix {
+        _dir: dir,
+        log,
+        locks,
+        tm,
+        toy,
+    }
+}
+
+fn log_something(f: &Fix, txn: &ariesim_txn::TxnHandle, body: &[u8]) -> Lsn {
+    txn.with_logger(&f.log, |l| l.update(RmId::Heap, PageId(9), body.to_vec()))
+}
+
+#[test]
+fn commit_forces_exactly_to_the_commit_record() {
+    let f = fix();
+    let txn = f.tm.begin();
+    log_something(&f, &txn, b"a");
+    let before = f.log.flushed_lsn();
+    f.tm.commit(&txn).unwrap();
+    assert!(f.log.flushed_lsn() > before, "commit must force the log");
+    // The End record may be unflushed (it rides the next force) — ARIES
+    // needs only the Commit record durable.
+    let kinds: Vec<RecordKind> = f
+        .log
+        .scan(Lsn::NULL)
+        .map(|r| r.unwrap().kind)
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            RecordKind::Begin,
+            RecordKind::Update,
+            RecordKind::Commit,
+            RecordKind::End
+        ]
+    );
+}
+
+#[test]
+fn rollback_writes_abort_then_clrs_then_end() {
+    let f = fix();
+    let txn = f.tm.begin();
+    log_something(&f, &txn, b"x");
+    log_something(&f, &txn, b"y");
+    f.tm.rollback(&txn).unwrap();
+    assert_eq!(*f.toy.undone.lock(), vec![b"y".to_vec(), b"x".to_vec()]);
+    let kinds: Vec<RecordKind> = f.log.scan(Lsn::NULL).map(|r| r.unwrap().kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            RecordKind::Begin,
+            RecordKind::Update,
+            RecordKind::Update,
+            RecordKind::Abort,
+            RecordKind::Clr,
+            RecordKind::Clr,
+            RecordKind::End,
+        ]
+    );
+}
+
+#[test]
+fn commit_and_rollback_release_all_locks() {
+    let f = fix();
+    for do_commit in [true, false] {
+        let txn = f.tm.begin();
+        let name = LockName::Record(ariesim_common::Rid::new(PageId(5), 1));
+        f.locks
+            .request(txn.id, name.clone(), LockMode::X, LockDuration::Commit, false)
+            .unwrap();
+        assert_eq!(f.locks.held_count(txn.id), 1);
+        if do_commit {
+            f.tm.commit(&txn).unwrap();
+        } else {
+            f.tm.rollback(&txn).unwrap();
+        }
+        assert_eq!(f.locks.held_count(txn.id), 0);
+    }
+}
+
+#[test]
+fn finished_transactions_reject_further_work() {
+    let f = fix();
+    let txn = f.tm.begin();
+    f.tm.commit(&txn).unwrap();
+    assert!(matches!(
+        f.tm.commit(&txn),
+        Err(Error::BadTxnState { .. })
+    ));
+    assert!(matches!(
+        f.tm.rollback(&txn),
+        Err(Error::BadTxnState { .. })
+    ));
+    assert!(matches!(
+        f.tm.rollback_to(&txn, Lsn::NULL),
+        Err(Error::BadTxnState { .. })
+    ));
+}
+
+#[test]
+fn nta_token_round_trip() {
+    let f = fix();
+    let txn = f.tm.begin();
+    log_something(&f, &txn, b"pre");
+    let token = txn.begin_nta();
+    log_something(&f, &txn, b"inside-1");
+    log_something(&f, &txn, b"inside-2");
+    let dummy_lsn = txn.end_nta(&f.log, token);
+    let dummy = f.log.read(dummy_lsn).unwrap();
+    assert_eq!(dummy.kind, RecordKind::DummyClr);
+    assert_eq!(dummy.undo_next_lsn, token);
+    // Rollback skips the NTA.
+    f.tm.rollback(&txn).unwrap();
+    assert_eq!(*f.toy.undone.lock(), vec![b"pre".to_vec()]);
+}
+
+#[test]
+fn checkpoint_records_fuzzy_transaction_table() {
+    let f = fix();
+    let t1 = f.tm.begin();
+    log_something(&f, &t1, b"live");
+    let t2 = f.tm.begin();
+    f.tm.commit(&t2).unwrap();
+    let ckpt_lsn = f.tm.checkpoint().unwrap();
+    assert_eq!(f.log.read_master().unwrap(), ckpt_lsn);
+    // Find the CkptEnd and decode its table.
+    let end = f
+        .log
+        .scan(ckpt_lsn)
+        .map(|r| r.unwrap())
+        .find(|r| r.kind == RecordKind::CkptEnd)
+        .unwrap();
+    let data = CheckpointData::decode(end.lsn, &end.body).unwrap();
+    let ids: Vec<TxnId> = data.txns.iter().map(|t| t.txn).collect();
+    assert!(ids.contains(&t1.id), "in-flight txn recorded");
+    assert!(!ids.contains(&t2.id), "finished txn absent");
+    assert!(data.max_txn_id >= t2.id.0);
+    f.tm.rollback(&t1).unwrap();
+}
+
+#[test]
+fn active_count_tracks_table() {
+    let f = fix();
+    assert_eq!(f.tm.active_count(), 0);
+    let a = f.tm.begin();
+    let b = f.tm.begin();
+    assert_eq!(f.tm.active_count(), 2);
+    f.tm.commit(&a).unwrap();
+    assert_eq!(f.tm.active_count(), 1);
+    f.tm.rollback(&b).unwrap();
+    assert_eq!(f.tm.active_count(), 0);
+}
+
+#[test]
+fn resume_txn_ids_prevents_collisions() {
+    let f = fix();
+    f.tm.resume_txn_ids_after(100);
+    let txn = f.tm.begin();
+    assert!(txn.id.0 > 100);
+    f.tm.commit(&txn).unwrap();
+}
+
+#[test]
+fn end_hooks_fire_on_both_outcomes() {
+    let f = fix();
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let s = seen.clone();
+    f.tm.on_end(Arc::new(move |t| s.lock().push(t)));
+    let a = f.tm.begin();
+    f.tm.commit(&a).unwrap();
+    let b = f.tm.begin();
+    f.tm.rollback(&b).unwrap();
+    assert_eq!(*seen.lock(), vec![a.id, b.id]);
+}

@@ -1,0 +1,151 @@
+//! Figures 1 and 3 — the paper's two motivating race scenarios.
+//!
+//! **Figure 1 (logical undo):** T1 inserts K8 into page P1; T2 splits P1,
+//! moving K8 to P2; T1 rolls back. The undo cannot be page-oriented (K8 is
+//! no longer on P1): ARIES/IM re-traverses from the root, deletes K8 from
+//! P2, and logs the change there via a CLR.
+//!
+//! **Figure 3 (traverser vs unfinished SMO):** T2 wants to modify a leaf
+//! that participates in T1's not-yet-complete SMO (SM_Bit = '1'). T2 must
+//! wait — via an instant S tree latch — until the SMO finishes, otherwise a
+//! later page-oriented undo of the incomplete SMO would wipe out T2's
+//! committed change.
+
+mod support;
+
+use ariesim::btree::LockProtocol;
+use ariesim::common::Lsn;
+use ariesim::wal::RecordKind;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use support::{fix, nkey};
+
+#[test]
+fn figure1_logical_undo_clr_targets_new_page() {
+    let f = fix(LockProtocol::DataOnly, false);
+    // Fill "P1" (a single root leaf) close to capacity.
+    let setup = f.tm.begin();
+    for i in 0..320u32 {
+        f.tree.insert(&setup, &nkey(2 * i)).unwrap();
+    }
+    f.tm.commit(&setup).unwrap();
+    let p1 = f.tree.leaf_for_value(&nkey(640).value).unwrap();
+
+    // T1 inserts K8 — the highest key, destined for the right half.
+    let t1 = f.tm.begin();
+    let k8 = nkey(700_000);
+    f.tree.insert(&t1, &k8).unwrap();
+    let insert_rec = f
+        .log
+        .scan(Lsn::NULL)
+        .map(|r| r.unwrap())
+        .filter(|r| r.txn == t1.id && r.kind == RecordKind::Update)
+        .last()
+        .unwrap();
+    assert_eq!(insert_rec.page, p1, "K8 initially lives on P1");
+
+    // T2 splits P1 by filling it further; K8 moves to the new page P2.
+    let t2 = f.tm.begin();
+    let mut i = 0u32;
+    while f.stats.snapshot().smo_splits == 0 {
+        f.tree.insert(&t2, &nkey(2 * i + 1)).unwrap();
+        i += 1;
+        assert!(i < 2000);
+    }
+    f.tm.commit(&t2).unwrap();
+    let p2 = f.tree.leaf_for_value(&k8.value).unwrap();
+    assert_ne!(p2, p1, "the split moved K8 to a different page");
+
+    // T1 rolls back: the undo must be LOGICAL and the CLR must target P2.
+    let before = f.stats.snapshot();
+    f.tm.rollback(&t1).unwrap();
+    let delta = f.stats.snapshot().since(&before);
+    assert_eq!(delta.undo_logical, 1, "page-oriented undo impossible");
+    let clr = f
+        .log
+        .scan(Lsn::NULL)
+        .map(|r| r.unwrap())
+        .filter(|r| r.txn == t1.id && r.kind == RecordKind::Clr)
+        .last()
+        .unwrap();
+    assert_eq!(
+        clr.page, p2,
+        "the compensation is logged against the page that holds K8 NOW"
+    );
+    // K8 gone, everything else intact.
+    assert!(!f.tree.scan_all_unlocked().unwrap().contains(&k8));
+    f.tree.check_structure().unwrap();
+}
+
+#[test]
+fn figure3_insert_waits_for_unfinished_smo() {
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    for i in 0..10u32 {
+        f.tree.insert(&setup, &nkey(i)).unwrap();
+    }
+    f.tm.commit(&setup).unwrap();
+    let leaf = f.tree.leaf_for_value(&nkey(5).value).unwrap();
+
+    // Manufacture T1's in-progress SMO: SM_Bit set on the leaf, X tree latch
+    // held (exactly the state between an SMO's leaf-level action and its
+    // completion).
+    f.tree
+        .set_page_bits_for_test(leaf, Some(true), None)
+        .unwrap();
+    let smo_latch = f.tree.hold_tree_latch_x();
+
+    // T2's insert (of value "B", not ambiguous — the leaf is the right one)
+    // must still wait for the SMO to finish (§3: otherwise T2 could commit
+    // and then have its change wiped out by the SMO's page-oriented undo).
+    let done = Arc::new(AtomicBool::new(false));
+    let h = {
+        let tm = f.tm.clone();
+        let tree = f.tree.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let t2 = tm.begin();
+            tree.insert(&t2, &nkey(5_000)).unwrap();
+            tm.commit(&t2).unwrap();
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(80));
+    assert!(
+        !done.load(Ordering::SeqCst),
+        "insert must wait while SM_Bit=1 and the SMO holds the tree latch"
+    );
+    // SMO completes: latch released (bit reset is the waiter's job).
+    drop(smo_latch);
+    h.join().unwrap();
+    assert!(done.load(Ordering::SeqCst));
+    // The waiter reset the bit after establishing a POSC.
+    let g = f.pool.fix_s(leaf).unwrap();
+    assert!(!g.sm_bit(), "bits reset once the SMO completed");
+    drop(g);
+    f.tree.check_structure().unwrap();
+}
+
+#[test]
+fn figure3_fetch_proceeds_despite_unfinished_smo_on_leaf() {
+    // Contrast case the paper allows: *retrievals* on a leaf with SM_Bit=1
+    // need no tree-latch wait when the routing is unambiguous — only
+    // modifications must wait (Figure 4 note 3).
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    for i in 0..10u32 {
+        f.tree.insert(&setup, &nkey(i)).unwrap();
+    }
+    f.tm.commit(&setup).unwrap();
+    let leaf = f.tree.leaf_for_value(&nkey(5).value).unwrap();
+    f.tree
+        .set_page_bits_for_test(leaf, Some(true), None)
+        .unwrap();
+    let _smo_latch = f.tree.hold_tree_latch_x();
+
+    let txn = f.tm.begin();
+    use ariesim::btree::fetch::{FetchCond, FetchResult};
+    let r = f.tree.fetch(&txn, &nkey(5).value, FetchCond::Eq).unwrap();
+    assert!(matches!(r, FetchResult::Found(_)));
+    f.tm.commit(&txn).unwrap();
+}

@@ -1,0 +1,287 @@
+//! Figure 2 conformance — "Summary of Locking in ARIES/IM":
+//!
+//! |                    | NEXT KEY               | CURRENT KEY                                   |
+//! |--------------------|------------------------|-----------------------------------------------|
+//! | FETCH & FETCH NEXT |                        | S commit                                      |
+//! | INSERT             | X instant              | X commit *if index-specific locking*          |
+//! | DELETE             | X commit               | X instant *if index-specific locking*         |
+//!
+//! (Under data-only locking the current-key column is empty because the
+//! record manager's RID lock already covers it — §2.1.)
+//!
+//! Each test drives one operation and asserts exactly which lock the index
+//! manager took, in which mode, for which duration. Instant-duration locks
+//! leave no residue, so they are asserted via (a) the `locks_instant`
+//! counter and (b) the absence of a residual grant.
+
+mod support;
+
+use ariesim::btree::fetch::{FetchCond, FetchResult};
+use ariesim::btree::LockProtocol;
+use ariesim::lock::{LockDuration, LockMode, LockName};
+use support::{fix, key, nkey};
+
+fn key_name_index_specific(k: &ariesim::common::IndexKey) -> LockName {
+    LockName::KeyValue(ariesim::common::IndexId(1), k.encode())
+}
+
+// --- FETCH row of the table ------------------------------------------------
+
+#[test]
+fn fetch_found_current_key_s_commit_data_only() {
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    f.tree.insert(&setup, &nkey(10)).unwrap();
+    f.tm.commit(&setup).unwrap();
+
+    let txn = f.tm.begin();
+    assert!(matches!(
+        f.tree.fetch(&txn, &nkey(10).value, FetchCond::Eq).unwrap(),
+        FetchResult::Found(_)
+    ));
+    // Data-only: the "key lock" IS the record lock on the key's RID.
+    let name = LockName::Record(support::rid(10));
+    assert_eq!(f.locks.holds(txn.id, &name), Some(LockMode::S));
+    assert_eq!(
+        f.locks.holds_duration(txn.id, &name),
+        Some(LockDuration::Commit)
+    );
+    f.tm.commit(&txn).unwrap();
+    assert_eq!(f.locks.holds(txn.id, &name), None, "commit releases");
+}
+
+#[test]
+fn fetch_not_found_locks_next_key_s_commit() {
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    f.tree.insert(&setup, &nkey(20)).unwrap();
+    f.tm.commit(&setup).unwrap();
+
+    let txn = f.tm.begin();
+    assert_eq!(
+        f.tree.fetch(&txn, &nkey(15).value, FetchCond::Eq).unwrap(),
+        FetchResult::NotFound
+    );
+    let next = LockName::Record(support::rid(20));
+    assert_eq!(f.locks.holds(txn.id, &next), Some(LockMode::S));
+    assert_eq!(
+        f.locks.holds_duration(txn.id, &next),
+        Some(LockDuration::Commit)
+    );
+    f.tm.commit(&txn).unwrap();
+}
+
+#[test]
+fn fetch_next_locks_each_returned_key_s_commit() {
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    for i in [1u32, 2, 3] {
+        f.tree.insert(&setup, &nkey(i)).unwrap();
+    }
+    f.tm.commit(&setup).unwrap();
+
+    let txn = f.tm.begin();
+    let (first, mut cursor) = f
+        .tree
+        .open_scan(&txn, &nkey(1).value, FetchCond::Ge)
+        .unwrap();
+    assert_eq!(first, Some(nkey(1)));
+    let second = f.tree.fetch_next(&txn, cursor.as_mut().unwrap()).unwrap();
+    assert_eq!(second, Some(nkey(2)));
+    for i in [1u32, 2] {
+        let name = LockName::Record(support::rid(i));
+        assert_eq!(f.locks.holds(txn.id, &name), Some(LockMode::S), "key {i}");
+        assert_eq!(
+            f.locks.holds_duration(txn.id, &name),
+            Some(LockDuration::Commit)
+        );
+    }
+    f.tm.commit(&txn).unwrap();
+}
+
+// --- INSERT row -------------------------------------------------------------
+
+#[test]
+fn insert_next_key_x_instant_data_only() {
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    f.tree.insert(&setup, &nkey(30)).unwrap();
+    f.tm.commit(&setup).unwrap();
+
+    let before = f.stats.snapshot();
+    let txn = f.tm.begin();
+    f.tree.insert(&txn, &nkey(25)).unwrap(); // next key = nkey(30)
+    let delta = f.stats.snapshot().since(&before);
+    assert_eq!(delta.locks_next_key, 1, "exactly one next-key lock");
+    assert_eq!(delta.locks_instant, 1, "and it was instant duration");
+    // Instant means: no residue on the next key.
+    let next = LockName::Record(support::rid(30));
+    assert_eq!(f.locks.holds(txn.id, &next), None);
+    // Data-only: no current-key lock taken by the index manager either
+    // (the record manager would hold it; none exists in this bare-index rig).
+    let cur = LockName::Record(support::rid(25));
+    assert_eq!(f.locks.holds(txn.id, &cur), None);
+    f.tm.commit(&txn).unwrap();
+}
+
+#[test]
+fn insert_current_key_x_commit_if_index_specific() {
+    let f = fix(LockProtocol::IndexSpecific, false);
+    let setup = f.tm.begin();
+    f.tree.insert(&setup, &nkey(30)).unwrap();
+    f.tm.commit(&setup).unwrap();
+
+    let txn = f.tm.begin();
+    let k = nkey(25);
+    f.tree.insert(&txn, &k).unwrap();
+    let cur = key_name_index_specific(&k);
+    assert_eq!(f.locks.holds(txn.id, &cur), Some(LockMode::X));
+    assert_eq!(
+        f.locks.holds_duration(txn.id, &cur),
+        Some(LockDuration::Commit)
+    );
+    // Next key still instant: no residue.
+    let next = key_name_index_specific(&nkey(30));
+    assert_eq!(f.locks.holds(txn.id, &next), None);
+    f.tm.commit(&txn).unwrap();
+}
+
+#[test]
+fn insert_at_right_edge_locks_eof_instant() {
+    let f = fix(LockProtocol::DataOnly, false);
+    let before = f.stats.snapshot();
+    let txn = f.tm.begin();
+    f.tree.insert(&txn, &nkey(99)).unwrap(); // empty tree: next = EOF
+    let delta = f.stats.snapshot().since(&before);
+    assert_eq!(delta.locks_eof, 1);
+    assert_eq!(delta.locks_instant, 1);
+    assert_eq!(
+        f.locks
+            .holds(txn.id, &LockName::Eof(ariesim::common::IndexId(1))),
+        None,
+        "instant: no residue"
+    );
+    f.tm.commit(&txn).unwrap();
+}
+
+// --- DELETE row -------------------------------------------------------------
+
+#[test]
+fn delete_next_key_x_commit_data_only() {
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    f.tree.insert(&setup, &nkey(40)).unwrap();
+    f.tree.insert(&setup, &nkey(50)).unwrap();
+    f.tm.commit(&setup).unwrap();
+
+    let txn = f.tm.begin();
+    f.tree.delete(&txn, &nkey(40)).unwrap();
+    let next = LockName::Record(support::rid(50));
+    assert_eq!(f.locks.holds(txn.id, &next), Some(LockMode::X));
+    assert_eq!(
+        f.locks.holds_duration(txn.id, &next),
+        Some(LockDuration::Commit),
+        "delete's next-key lock is COMMIT duration (the stable tripping point, §2.6)"
+    );
+    f.tm.commit(&txn).unwrap();
+    assert_eq!(f.locks.holds(txn.id, &next), None);
+}
+
+#[test]
+fn delete_current_key_x_instant_if_index_specific() {
+    let f = fix(LockProtocol::IndexSpecific, false);
+    let setup = f.tm.begin();
+    f.tree.insert(&setup, &nkey(40)).unwrap();
+    f.tree.insert(&setup, &nkey(50)).unwrap();
+    f.tm.commit(&setup).unwrap();
+
+    let before = f.stats.snapshot();
+    let txn = f.tm.begin();
+    let k = nkey(40);
+    f.tree.delete(&txn, &k).unwrap();
+    let delta = f.stats.snapshot().since(&before);
+    // Current key was locked X instant: counted, no residue.
+    assert!(delta.locks_instant >= 1);
+    assert_eq!(f.locks.holds(txn.id, &key_name_index_specific(&k)), None);
+    // Next key X commit as always.
+    let next = key_name_index_specific(&nkey(50));
+    assert_eq!(f.locks.holds(txn.id, &next), Some(LockMode::X));
+    f.tm.commit(&txn).unwrap();
+}
+
+#[test]
+fn delete_last_key_locks_eof_commit() {
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    f.tree.insert(&setup, &nkey(60)).unwrap();
+    f.tm.commit(&setup).unwrap();
+
+    let txn = f.tm.begin();
+    f.tree.delete(&txn, &nkey(60)).unwrap();
+    let eof = LockName::Eof(ariesim::common::IndexId(1));
+    assert_eq!(f.locks.holds(txn.id, &eof), Some(LockMode::X));
+    assert_eq!(
+        f.locks.holds_duration(txn.id, &eof),
+        Some(LockDuration::Commit)
+    );
+    f.tm.commit(&txn).unwrap();
+}
+
+// --- the asymmetry the paper explains in §2.6 ------------------------------
+
+#[test]
+fn uncommitted_delete_blocks_fetch_but_uncommitted_insert_is_visible_tripwire() {
+    // Delete leaves a commit-duration wall on the next key: a fetch of the
+    // deleted value blocks until the deleter resolves.
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    f.tree.insert(&setup, &key("b", 1)).unwrap();
+    f.tree.insert(&setup, &key("c", 2)).unwrap();
+    f.tm.commit(&setup).unwrap();
+
+    let deleter = f.tm.begin();
+    f.tree.delete(&deleter, &key("b", 1)).unwrap();
+
+    let tm = f.tm.clone();
+    let tree = f.tree.clone();
+    let h = std::thread::spawn(move || {
+        let reader = tm.begin();
+        // Fetch "b": not found physically; its next key "c" carries the
+        // deleter's X commit lock → the reader blocks (trips).
+        let r = tree.fetch(&reader, b"b", FetchCond::Eq).unwrap();
+        tm.commit(&reader).unwrap();
+        r
+    });
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    assert!(!h.is_finished(), "fetch must trip on the deleter's wall");
+    f.tm.rollback(&deleter).unwrap();
+    // After rollback the key is back: the reader finds it.
+    assert!(matches!(h.join().unwrap(), FetchResult::Found(_)));
+
+    // An uncommitted *insert* is its own tripping point: a fetch of it
+    // blocks on the inserted key's lock itself.
+    let inserter = f.tm.begin();
+    f.tree.insert(&inserter, &key("bb", 3)).unwrap();
+    // (Bare-index rig: take the record lock the record manager would hold.)
+    f.locks
+        .request(
+            inserter.id,
+            LockName::Record(support::rid(3)),
+            LockMode::X,
+            LockDuration::Commit,
+            false,
+        )
+        .unwrap();
+    let tm = f.tm.clone();
+    let tree = f.tree.clone();
+    let h = std::thread::spawn(move || {
+        let reader = tm.begin();
+        let r = tree.fetch(&reader, b"bb", FetchCond::Eq).unwrap();
+        tm.commit(&reader).unwrap();
+        r
+    });
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    assert!(!h.is_finished(), "fetch must block on the uncommitted insert");
+    f.tm.commit(&inserter).unwrap();
+    assert!(matches!(h.join().unwrap(), FetchResult::Found(_)));
+}

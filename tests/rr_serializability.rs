@@ -1,0 +1,219 @@
+//! Repeatable-read / serializability guarantees (the paper's §2.2–2.6):
+//! next-key locking must make "not found" answers stable (no phantoms),
+//! protect uncommitted deletes, and protect range-scan edges.
+
+mod support;
+
+use ariesim::btree::fetch::{FetchCond, FetchResult};
+use ariesim::btree::LockProtocol;
+use support::{fix, nkey};
+
+#[test]
+fn phantom_insert_blocks_until_reader_commits() {
+    // Reader fetches value 15 → not found → S commit lock on next key 20.
+    // Writer inserting 15 needs an instant X lock on 20 → blocks.
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    f.tree.insert(&setup, &nkey(20)).unwrap();
+    f.tm.commit(&setup).unwrap();
+
+    let reader = f.tm.begin();
+    assert_eq!(
+        f.tree.fetch(&reader, &nkey(15).value, FetchCond::Eq).unwrap(),
+        FetchResult::NotFound
+    );
+
+    let h = {
+        let tm = f.tm.clone();
+        let tree = f.tree.clone();
+        std::thread::spawn(move || {
+            let writer = tm.begin();
+            tree.insert(&writer, &nkey(15)).unwrap();
+            tm.commit(&writer).unwrap();
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    assert!(
+        !h.is_finished(),
+        "phantom insert must block on the reader's next-key lock"
+    );
+    // Re-reading gives the same answer while the writer waits: RR holds.
+    assert_eq!(
+        f.tree.fetch(&reader, &nkey(15).value, FetchCond::Eq).unwrap(),
+        FetchResult::NotFound
+    );
+    f.tm.commit(&reader).unwrap();
+    h.join().unwrap();
+}
+
+#[test]
+fn phantom_insert_at_eof_blocks_on_eof_lock() {
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    f.tree.insert(&setup, &nkey(10)).unwrap();
+    f.tm.commit(&setup).unwrap();
+
+    let reader = f.tm.begin();
+    // Not found beyond the right edge → EOF locked.
+    assert_eq!(
+        f.tree.fetch(&reader, &nkey(99).value, FetchCond::Eq).unwrap(),
+        FetchResult::NotFound
+    );
+    let h = {
+        let tm = f.tm.clone();
+        let tree = f.tree.clone();
+        std::thread::spawn(move || {
+            let writer = tm.begin();
+            tree.insert(&writer, &nkey(99)).unwrap();
+            tm.commit(&writer).unwrap();
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    assert!(!h.is_finished(), "EOF lock must block the right-edge insert");
+    f.tm.commit(&reader).unwrap();
+    h.join().unwrap();
+}
+
+#[test]
+fn range_scan_edges_are_protected() {
+    // A scan over [10, 30] locks every returned key plus the terminating
+    // key: inserts anywhere inside the range block until the scanner ends.
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    for i in [10u32, 20, 30, 40] {
+        f.tree.insert(&setup, &nkey(i)).unwrap();
+    }
+    f.tm.commit(&setup).unwrap();
+
+    let scanner = f.tm.begin();
+    let (first, mut cur) = f
+        .tree
+        .open_scan(&scanner, &nkey(10).value, FetchCond::Ge)
+        .unwrap();
+    assert_eq!(first, Some(nkey(10)));
+    let mut cur = cur.take().unwrap();
+    // Scan through 20, 30, and stop after seeing 40 (> 30): 40 is locked.
+    loop {
+        let k = f.tree.fetch_next(&scanner, &mut cur).unwrap().unwrap();
+        if k.value >= nkey(40).value {
+            break;
+        }
+    }
+    // An insert of 25 (inside the range) needs an instant X lock on 30 —
+    // held S by the scanner → blocks.
+    let h = {
+        let tm = f.tm.clone();
+        let tree = f.tree.clone();
+        std::thread::spawn(move || {
+            let w = tm.begin();
+            tree.insert(&w, &nkey(25)).unwrap();
+            tm.commit(&w).unwrap();
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    assert!(!h.is_finished(), "insert inside a scanned range must block");
+    // An insert of 35 (between the stop key and the terminator 40) also
+    // blocks — conservative but correct RR: 40 is the locked edge.
+    f.tm.commit(&scanner).unwrap();
+    h.join().unwrap();
+}
+
+#[test]
+fn uncommitted_delete_invisible_to_nobody() {
+    // §2.6: a deleted key disappears physically, but the deleter's commit X
+    // next-key lock makes sure no one can *conclude* it is gone until the
+    // deleter resolves. If the deleter rolls back, readers see the key again.
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    f.tree.insert(&setup, &nkey(10)).unwrap();
+    f.tree.insert(&setup, &nkey(20)).unwrap();
+    f.tm.commit(&setup).unwrap();
+
+    let deleter = f.tm.begin();
+    f.tree.delete(&deleter, &nkey(10)).unwrap();
+
+    let h = {
+        let tm = f.tm.clone();
+        let tree = f.tree.clone();
+        std::thread::spawn(move || {
+            let r = tm.begin();
+            let res = tree.fetch(&r, &nkey(10).value, FetchCond::Eq).unwrap();
+            tm.commit(&r).unwrap();
+            res
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    assert!(!h.is_finished(), "reader must trip on the deleter's wall");
+    f.tm.rollback(&deleter).unwrap();
+    assert_eq!(h.join().unwrap(), FetchResult::Found(nkey(10)));
+}
+
+#[test]
+fn unique_reinsert_of_uncommitted_deleted_value_blocks() {
+    // §2.4 unique-index rule: T2 inserting a value whose only instance was
+    // deleted by the uncommitted T1 must wait (T1 could roll back, which
+    // would otherwise create a duplicate).
+    let f = fix(LockProtocol::DataOnly, true);
+    let setup = f.tm.begin();
+    f.tree.insert(&setup, &nkey(10)).unwrap();
+    f.tree.insert(&setup, &nkey(20)).unwrap();
+    f.tm.commit(&setup).unwrap();
+
+    let t1 = f.tm.begin();
+    f.tree.delete(&t1, &nkey(10)).unwrap();
+
+    let h = {
+        let tm = f.tm.clone();
+        let tree = f.tree.clone();
+        std::thread::spawn(move || {
+            let t2 = tm.begin();
+            // Same value, fresh RID.
+            let k = ariesim::common::IndexKey::new(nkey(10).value.clone(), support::rid(999));
+            let r = tree.insert(&t2, &k);
+            match &r {
+                Ok(()) => tm.commit(&t2).unwrap(),
+                Err(_) => tm.rollback(&t2).unwrap(),
+            }
+            r
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    assert!(!h.is_finished(), "re-insert must wait for the deleter");
+    // T1 rolls back: the original value returns, so T2's insert must now
+    // fail with a unique violation.
+    f.tm.rollback(&t1).unwrap();
+    let res = h.join().unwrap();
+    assert!(
+        matches!(res, Err(ariesim::common::Error::UniqueViolation)),
+        "after the deleter's rollback the value exists again: {res:?}"
+    );
+}
+
+#[test]
+fn fetch_answer_stable_across_writer_commit_elsewhere() {
+    // Sanity: locks only serialize *conflicting* key ranges; disjoint work
+    // flows freely while the reader's RR answers stay stable.
+    let f = fix(LockProtocol::DataOnly, false);
+    let setup = f.tm.begin();
+    for i in [10u32, 20] {
+        f.tree.insert(&setup, &nkey(i)).unwrap();
+    }
+    f.tm.commit(&setup).unwrap();
+
+    let reader = f.tm.begin();
+    assert_eq!(
+        f.tree.fetch(&reader, &nkey(10).value, FetchCond::Eq).unwrap(),
+        FetchResult::Found(nkey(10))
+    );
+    // A writer works on a far-away range and commits — no interference.
+    let writer = f.tm.begin();
+    for i in 100..120u32 {
+        f.tree.insert(&writer, &nkey(i)).unwrap();
+    }
+    f.tm.commit(&writer).unwrap();
+    assert_eq!(
+        f.tree.fetch(&reader, &nkey(10).value, FetchCond::Eq).unwrap(),
+        FetchResult::Found(nkey(10))
+    );
+    f.tm.commit(&reader).unwrap();
+}
