@@ -1,13 +1,20 @@
-//! `dumplog` — pretty-print an ariesim write-ahead log.
+//! `dumplog` — pretty-print or summarize an ariesim write-ahead log.
 //!
 //! ```sh
 //! cargo run -p ariesim-bench --bin dumplog -- /path/to/dbdir/wal [--from LSN]
+//! cargo run -p ariesim-bench --bin dumplog -- /path/to/dbdir/wal --summary
+//! cargo run -p ariesim-bench --bin dumplog -- /path/to/dbdir/wal --summary --json
 //! ```
 //!
 //! Decodes every record's envelope and, for index and heap records, the
 //! resource-manager body, showing the backward chains (`prev`), CLR
 //! redirections (`undo_next`) and nested-top-action boundaries at a glance —
 //! the tool you want when studying Figures 9/10 shapes in a real log.
+//!
+//! `--summary` prints aggregate shape instead of individual records: counts
+//! by record kind and resource manager, total body bytes, how many
+//! transactions have CLR (UndoNxtLSN) chains, and the nested-top-action
+//! count (dummy CLRs). `--json` renders the same summary as one JSON object.
 
 use ariesim_btree::body::IndexBody;
 use ariesim_common::stats::new_stats;
@@ -79,17 +86,121 @@ fn describe_body(rec: &LogRecord) -> String {
     }
 }
 
+/// Aggregate shape of a log, as printed by `--summary`.
+#[derive(Default)]
+struct Summary {
+    records: u64,
+    body_bytes: u64,
+    by_kind: std::collections::BTreeMap<String, u64>,
+    by_rm: std::collections::BTreeMap<String, u64>,
+    clrs: u64,
+    dummy_clrs: u64,
+    txns_with_clr_chain: std::collections::BTreeSet<u64>,
+    first_lsn: Option<u64>,
+    last_lsn: u64,
+}
+
+impl Summary {
+    fn note(&mut self, rec: &LogRecord) {
+        self.records += 1;
+        self.body_bytes += rec.body.len() as u64;
+        *self.by_kind.entry(format!("{:?}", rec.kind)).or_default() += 1;
+        *self.by_rm.entry(format!("{:?}", rec.rm)).or_default() += 1;
+        match rec.kind {
+            RecordKind::Clr => {
+                self.clrs += 1;
+                self.txns_with_clr_chain.insert(rec.txn.0);
+            }
+            RecordKind::DummyClr => {
+                self.dummy_clrs += 1;
+                self.txns_with_clr_chain.insert(rec.txn.0);
+            }
+            _ => {}
+        }
+        self.first_lsn.get_or_insert(rec.lsn.0);
+        self.last_lsn = rec.lsn.0;
+    }
+
+    fn print_text(&self) {
+        println!("records:            {}", self.records);
+        println!("body bytes:         {}", self.body_bytes);
+        println!(
+            "lsn range:          {}..={}",
+            self.first_lsn.unwrap_or(0),
+            self.last_lsn
+        );
+        println!("by kind:");
+        for (k, n) in &self.by_kind {
+            println!("  {k:<12} {n:>8}");
+        }
+        println!("by resource manager:");
+        for (k, n) in &self.by_rm {
+            println!("  {k:<12} {n:>8}");
+        }
+        println!("clrs:               {}", self.clrs);
+        println!(
+            "nested top actions: {} (dummy CLRs)",
+            self.dummy_clrs
+        );
+        println!(
+            "undo chains:        {} transaction(s) with UndoNxtLSN chains",
+            self.txns_with_clr_chain.len()
+        );
+    }
+
+    fn print_json(&self) {
+        use ariesim_obs::json::Object;
+        let map_json = |m: &std::collections::BTreeMap<String, u64>| {
+            let mut o = Object::new();
+            for (k, n) in m {
+                o.field_u64(k, *n);
+            }
+            o.finish()
+        };
+        let mut root = Object::new();
+        root.field_u64("records", self.records);
+        root.field_u64("body_bytes", self.body_bytes);
+        root.field_u64("first_lsn", self.first_lsn.unwrap_or(0));
+        root.field_u64("last_lsn", self.last_lsn);
+        root.field_raw("by_kind", &map_json(&self.by_kind));
+        root.field_raw("by_rm", &map_json(&self.by_rm));
+        root.field_u64("clrs", self.clrs);
+        root.field_u64("nested_top_actions", self.dummy_clrs);
+        root.field_u64("undo_chains", self.txns_with_clr_chain.len() as u64);
+        println!("{}", root.finish());
+    }
+}
+
 fn main() {
+    let mut path = None;
+    let mut from = Lsn::NULL;
+    let mut summary = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: dumplog <wal-file> [--from LSN]");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--from" => {
+                if let Some(v) = args.next().and_then(|s| s.parse::<u64>().ok()) {
+                    from = Lsn(v);
+                }
+            }
+            "--summary" => summary = true,
+            "--json" => json = true,
+            _ if path.is_none() => path = Some(a),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: dumplog <wal-file> [--from LSN] [--summary [--json]]");
         std::process::exit(2);
     };
-    let mut from = Lsn::NULL;
-    if args.next().as_deref() == Some("--from") {
-        if let Some(v) = args.next().and_then(|s| s.parse::<u64>().ok()) {
-            from = Lsn(v);
-        }
+    // LogManager::open creates missing files; a dump tool must not.
+    if !std::path::Path::new(&path).is_file() {
+        eprintln!("cannot open {path}: no such file");
+        std::process::exit(1);
     }
     let log = match LogManager::open(
         std::path::Path::new(&path),
@@ -102,6 +213,24 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if summary || json {
+        let mut s = Summary::default();
+        for rec in log.scan(from) {
+            match rec {
+                Ok(r) => s.note(&r),
+                Err(e) => {
+                    eprintln!("-- log ends with undecodable record: {e}");
+                    break;
+                }
+            }
+        }
+        if json {
+            s.print_json();
+        } else {
+            s.print_text();
+        }
+        return;
+    }
     println!(
         "{:>10}  {:>6}  {:<9} {:<6} {:>8}  {:>10}  BODY",
         "LSN", "TXN", "KIND", "RM", "PAGE", "PREV/UNXT"

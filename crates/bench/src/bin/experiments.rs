@@ -7,17 +7,51 @@
 //! cargo run --release -p ariesim-bench --bin experiments -- fig2
 //! ```
 
-use ariesim_bench::{nkey, rig, row, run_workload, seed, Rig, WorkloadSpec};
+use ariesim_bench::{nkey, rig_with_obs, row, run_workload, seed, Rig, WorkloadSpec};
 use ariesim_btree::fetch::FetchCond;
 use ariesim_btree::LockProtocol;
 use ariesim_common::stats::StatsSnapshot;
 use ariesim_common::Lsn;
 use ariesim_lock::{LockDuration, LockMode, LockName};
+use ariesim_obs::{Obs, ObsHandle, DEFAULT_RING_CAPACITY};
 use ariesim_wal::RecordKind;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
+/// Shared observability domain for the whole run when `--obs` is given;
+/// `None` means every rig gets a disabled handle (monitors stay live).
+static OBS: OnceLock<Option<ObsHandle>> = OnceLock::new();
+
+fn obs_handle() -> ObsHandle {
+    match OBS.get().and_then(|o| o.as_ref()) {
+        Some(h) => h.clone(),
+        None => Obs::disabled(),
+    }
+}
+
+/// Build a rig wired to the run's observability domain (if any).
+fn rig(protocol: LockProtocol, unique: bool, frames: usize) -> Rig {
+    rig_with_obs(protocol, unique, frames, obs_handle())
+}
+
+/// Print the observability report after an experiment, then clear the
+/// histograms/ring so the next experiment gets a fresh window. Monitor
+/// counters persist across the run by design.
+fn obs_report() {
+    if let Some(obs) = OBS.get().and_then(|o| o.as_ref()) {
+        println!("--- observability report");
+        print!("{}", obs.render_report());
+        obs.reset();
+    }
+}
+
 fn main() {
-    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let with_obs = args.iter().any(|a| a == "--obs");
+    args.retain(|a| a != "--obs");
+    OBS.set(with_obs.then(|| Obs::enabled(DEFAULT_RING_CAPACITY)))
+        .ok();
+    let cmd = args.first().cloned().unwrap_or_else(|| "all".into());
     let t0 = Instant::now();
     match cmd.as_str() {
         "fig2" => fig2(),
@@ -48,14 +82,19 @@ fn main() {
                 smo_ablation,
             ] {
                 f();
+                obs_report();
                 println!();
             }
         }
         other => {
             eprintln!("unknown experiment {other}");
             eprintln!("try: fig2 fig1 fig3 fig9 fig10 fig11 locks concurrency recovery deadlocks latchcost smo all");
+            eprintln!("add --obs for latency histograms, event tracing and latch-invariant reports");
             std::process::exit(2);
         }
+    }
+    if cmd != "all" {
+        obs_report();
     }
     eprintln!("[{} done in {:.2?}]", cmd, t0.elapsed());
 }
@@ -464,22 +503,28 @@ fn recovery() {
         let ariesim_bench::Rig { _dir: keep, .. } = r;
         let dir = keep.path().to_path_buf();
         let stats = ariesim_common::stats::new_stats();
+        let obs = obs_handle();
         let log = std::sync::Arc::new(
-            ariesim_wal::LogManager::open(
+            ariesim_wal::LogManager::open_with_obs(
                 &dir.join("wal"),
                 ariesim_wal::LogOptions::default(),
                 stats.clone(),
+                obs.clone(),
             )
             .unwrap(),
         );
         let disk = ariesim_storage::DiskManager::open(&dir.join("db"), stats.clone()).unwrap();
-        let pool = ariesim_storage::BufferPool::new(
+        let pool = ariesim_storage::BufferPool::new_with_obs(
             disk,
             log.clone(),
             ariesim_storage::PoolOptions { frames: 4096 },
             stats.clone(),
+            obs.clone(),
         );
-        let locks = std::sync::Arc::new(ariesim_lock::LockManager::new(stats.clone()));
+        let locks = std::sync::Arc::new(ariesim_lock::LockManager::new_with_obs(
+            stats.clone(),
+            obs,
+        ));
         let rms = std::sync::Arc::new(ariesim_txn::RmRegistry::new());
         let index_rm = ariesim_btree::IndexRm::new(pool.clone(), stats.clone());
         rms.register(index_rm.clone());

@@ -10,6 +10,7 @@ use ariesim_common::stats::{new_stats, StatsHandle};
 use ariesim_common::tmp::TempDir;
 use ariesim_common::{Error, IndexId, IndexKey, PageId, Rid};
 use ariesim_lock::LockManager;
+use ariesim_obs::{Obs, ObsHandle};
 use ariesim_storage::{BufferPool, DiskManager, PoolOptions, SpaceMap, SpaceRm};
 use ariesim_txn::{RmRegistry, TransactionManager};
 use ariesim_wal::{LogManager, LogOptions};
@@ -28,18 +29,43 @@ pub struct Rig {
     pub tm: Arc<TransactionManager>,
     pub tree: Arc<BTree>,
     pub rms: Arc<RmRegistry>,
+    pub obs: ObsHandle,
 }
 
+/// Build a rig with observability disabled (the default for benchmarks —
+/// invariant monitoring stays live either way).
 pub fn rig(protocol: LockProtocol, unique: bool, frames: usize) -> Rig {
+    rig_with_obs(protocol, unique, frames, Obs::disabled())
+}
+
+/// Build a rig whose lock manager, buffer pool, and WAL all share `obs`.
+pub fn rig_with_obs(
+    protocol: LockProtocol,
+    unique: bool,
+    frames: usize,
+    obs: ObsHandle,
+) -> Rig {
     let dir = TempDir::new("bench");
     let stats = new_stats();
     let log = Arc::new(
-        LogManager::open(&dir.file("wal"), LogOptions::default(), stats.clone()).unwrap(),
+        LogManager::open_with_obs(
+            &dir.file("wal"),
+            LogOptions::default(),
+            stats.clone(),
+            obs.clone(),
+        )
+        .unwrap(),
     );
     let disk = DiskManager::open(&dir.file("db"), stats.clone()).unwrap();
-    let pool = BufferPool::new(disk, log.clone(), PoolOptions { frames }, stats.clone());
+    let pool = BufferPool::new_with_obs(
+        disk,
+        log.clone(),
+        PoolOptions { frames },
+        stats.clone(),
+        obs.clone(),
+    );
     SpaceMap::initialize(&pool).unwrap();
-    let locks = Arc::new(LockManager::new(stats.clone()));
+    let locks = Arc::new(LockManager::new_with_obs(stats.clone(), obs.clone()));
     let rms = Arc::new(RmRegistry::new());
     let index_rm = IndexRm::new(pool.clone(), stats.clone());
     rms.register(index_rm.clone());
@@ -74,6 +100,7 @@ pub fn rig(protocol: LockProtocol, unique: bool, frames: usize) -> Rig {
         tm,
         tree,
         rms,
+        obs,
     }
 }
 

@@ -140,6 +140,13 @@ impl BTree {
     /// Fetch per §2.2: returns the first key satisfying (`value`, `cond`),
     /// S-locking it — or the next key / EOF on the not-found path.
     pub fn fetch(&self, txn: &TxnHandle, value: &[u8], cond: FetchCond) -> Result<FetchResult> {
+        let op = self.obs.timer();
+        let r = self.fetch_inner(txn, value, cond);
+        self.obs.hist.op_fetch.record_since(op);
+        r
+    }
+
+    fn fetch_inner(&self, txn: &TxnHandle, value: &[u8], cond: FetchCond) -> Result<FetchResult> {
         self.stats.index_fetches.bump();
         let search = SearchKey::value_only(value);
         // When walking right, Gt must skip every duplicate of `value`; a
@@ -273,6 +280,13 @@ impl BTree {
     /// stop condition — the paper's protocol requires the terminating key to
     /// be locked, which has already happened by the time the caller sees it.
     pub fn fetch_next(&self, txn: &TxnHandle, cursor: &mut Cursor) -> Result<Option<IndexKey>> {
+        let op = self.obs.timer();
+        let r = self.fetch_next_inner(txn, cursor);
+        self.obs.hist.op_fetch.record_since(op);
+        r
+    }
+
+    fn fetch_next_inner(&self, txn: &TxnHandle, cursor: &mut Cursor) -> Result<Option<IndexKey>> {
         self.stats.index_fetches.bump();
         let found = self.fetch_next_internal(txn, &cursor.last_key.clone())?;
         if let Some(k) = &found {

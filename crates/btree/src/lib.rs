@@ -44,6 +44,7 @@ pub mod traverse;
 use ariesim_common::stats::StatsHandle;
 use ariesim_common::{IndexId, PageId, Result};
 use ariesim_lock::{LockManager, LockName};
+use ariesim_obs::ObsHandle;
 use ariesim_storage::{BufferPool, SpaceMap};
 use ariesim_txn::TxnHandle;
 use ariesim_wal::LogManager;
@@ -96,6 +97,9 @@ pub struct BTree {
     /// establishes a point of structural consistency (POSC).
     pub(crate) tree_latch: RwLock<()>,
     pub(crate) stats: StatsHandle,
+    /// Shared with the buffer pool's handle, so one `--obs` switch at rig
+    /// construction covers latches, locks, I/O, and index operations alike.
+    pub(crate) obs: ObsHandle,
 }
 
 impl BTree {
@@ -129,6 +133,7 @@ impl BTree {
         log: Arc<LogManager>,
         stats: StatsHandle,
     ) -> Arc<BTree> {
+        let obs = pool.obs().clone();
         Arc::new(BTree {
             index_id,
             root,
@@ -141,6 +146,7 @@ impl BTree {
             log,
             tree_latch: RwLock::new(()),
             stats,
+            obs,
         })
     }
 

@@ -24,6 +24,7 @@ use ariesim_common::key::SearchKey;
 use ariesim_common::page::PageType;
 use ariesim_common::stats::Bump;
 use ariesim_common::{Lsn, PageBuf, PageId, Result};
+use ariesim_obs::{EventKind, ModeTag};
 use ariesim_storage::{PageReadGuard, PageWriteGuard};
 
 /// The latched leaf a traversal ends at: S for fetches, X for modifications
@@ -87,12 +88,16 @@ impl BTree {
     pub(crate) fn tree_instant_s(&self) {
         self.stats.latches_tree.bump();
         self.stats.latches_tree_instant.bump();
+        self.obs
+            .event(EventKind::TreeLatchAcquire, ModeTag::Instant, 0, 0, 0);
         if let Some(g) = self.tree_latch.try_read_recursive() {
             drop(g);
             return;
         }
         self.stats.latch_tree_waits.bump();
+        let wait = self.obs.timer();
         drop(self.tree_latch.read_recursive());
+        self.obs.hist.latch_wait_tree.record_since(wait);
     }
 
     /// Conditional S tree latch (used by boundary-key deletes, Figure 7).
@@ -107,21 +112,31 @@ impl BTree {
     /// Unconditional S tree latch.
     pub(crate) fn tree_s(&self) -> parking_lot::RwLockReadGuard<'_, ()> {
         self.stats.latches_tree.bump();
+        self.obs
+            .event(EventKind::TreeLatchAcquire, ModeTag::S, 0, 0, 0);
         if let Some(g) = self.tree_latch.try_read_recursive() {
             return g;
         }
         self.stats.latch_tree_waits.bump();
-        self.tree_latch.read_recursive()
+        let wait = self.obs.timer();
+        let g = self.tree_latch.read_recursive();
+        self.obs.hist.latch_wait_tree.record_since(wait);
+        g
     }
 
     /// X tree latch: serializes SMOs on this index.
     pub(crate) fn tree_x(&self) -> parking_lot::RwLockWriteGuard<'_, ()> {
         self.stats.latches_tree.bump();
+        self.obs
+            .event(EventKind::TreeLatchAcquire, ModeTag::X, 0, 0, 0);
         if let Some(g) = self.tree_latch.try_write() {
             return g;
         }
         self.stats.latch_tree_waits.bump();
-        self.tree_latch.write()
+        let wait = self.obs.timer();
+        let g = self.tree_latch.write();
+        self.obs.hist.latch_wait_tree.record_since(wait);
+        g
     }
 
     // --- Figure 4 ---------------------------------------------------------
@@ -175,6 +190,13 @@ impl BTree {
                     let ambiguous_page = parent.page_id();
                     drop(parent);
                     self.stats.traversal_restarts.bump();
+                    self.obs.event(
+                        EventKind::TraversalRestart,
+                        ModeTag::None,
+                        0,
+                        ambiguous_page.0,
+                        0,
+                    );
                     {
                         let _t = self.tree_s();
                         let mut g = self.pool.fix_x(ambiguous_page)?;
@@ -199,6 +221,8 @@ impl BTree {
                     if !valid_page(&child, self, 0) {
                         drop(child);
                         self.stats.traversal_restarts.bump();
+                        self.obs
+                            .event(EventKind::TraversalRestart, ModeTag::None, 0, child_id.0, 0);
                         self.tree_instant_s();
                         continue 'restart;
                     }
@@ -209,6 +233,8 @@ impl BTree {
                 if !valid_page(&child, self, child_level) {
                     drop(child);
                     self.stats.traversal_restarts.bump();
+                    self.obs
+                        .event(EventKind::TraversalRestart, ModeTag::None, 0, child_id.0, 0);
                     self.tree_instant_s();
                     continue 'restart;
                 }

@@ -22,7 +22,7 @@ macro_rules! counters {
         }
 
         /// A point-in-time copy of every counter.
-        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
         pub struct StatsSnapshot {
             $( pub $name: u64, )*
         }

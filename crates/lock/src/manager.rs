@@ -27,8 +27,10 @@ use crate::mode::{LockDuration, LockMode};
 use crate::name::LockName;
 use ariesim_common::stats::{Bump, StatsHandle};
 use ariesim_common::{Error, Result, TxnId};
+use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -93,13 +95,33 @@ struct State {
 pub struct LockManager {
     state: Mutex<State>,
     stats: StatsHandle,
+    obs: ObsHandle,
+}
+
+/// Stable tag for a lock name in trace events (names don't fit in a u64).
+fn name_tag(name: &LockName) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut h);
+    h.finish()
+}
+
+fn mode_tag(mode: LockMode) -> ModeTag {
+    match mode {
+        LockMode::S | LockMode::IS => ModeTag::S,
+        LockMode::X | LockMode::IX | LockMode::SIX => ModeTag::X,
+    }
 }
 
 impl LockManager {
     pub fn new(stats: StatsHandle) -> LockManager {
+        LockManager::new_with_obs(stats, Obs::disabled())
+    }
+
+    pub fn new_with_obs(stats: StatsHandle, obs: ObsHandle) -> LockManager {
         LockManager {
             state: Mutex::new(State::default()),
             stats,
+            obs,
         }
     }
 
@@ -129,7 +151,7 @@ impl LockManager {
                     if duration > head.granted[gi].duration {
                         head.granted[gi].duration = duration;
                     }
-                    self.note_grant(&name, mode, duration);
+                    self.note_grant(txn, &name, mode, duration);
                     return Ok(());
                 }
                 // Conversion.
@@ -138,11 +160,13 @@ impl LockManager {
                     if duration > head.granted[gi].duration {
                         head.granted[gi].duration = duration;
                     }
-                    self.note_grant(&name, mode, duration);
+                    self.note_grant(txn, &name, mode, duration);
                     return Ok(());
                 }
                 if conditional {
                     self.stats.lock_conditional_denials.bump();
+                    self.obs
+                        .event(EventKind::LockDeny, mode_tag(mode), txn.0, 0, name_tag(&name));
                     return Err(Error::WouldBlock);
                 }
                 cell = self.enqueue(&mut st, txn, name.clone(), mode, duration, true)?;
@@ -150,17 +174,24 @@ impl LockManager {
                 let grantable = head.queue.is_empty() && head.compatible_with_others(txn, mode);
                 if grantable {
                     self.grant_now(&mut st, txn, &name, mode, duration);
-                    self.note_grant(&name, mode, duration);
+                    self.note_grant(txn, &name, mode, duration);
                     return Ok(());
                 }
                 if conditional {
                     self.stats.lock_conditional_denials.bump();
+                    self.obs
+                        .event(EventKind::LockDeny, mode_tag(mode), txn.0, 0, name_tag(&name));
                     return Err(Error::WouldBlock);
                 }
                 cell = self.enqueue(&mut st, txn, name.clone(), mode, duration, false)?;
             }
         }
-        // Wait outside the table mutex.
+        // Wait outside the table mutex. Blocking here while holding a page
+        // latch would violate the §2.2 protocol — the monitor checks.
+        self.obs.monitor.on_unconditional_lock_wait();
+        self.obs
+            .event(EventKind::LockWait, mode_tag(mode), txn.0, 0, name_tag(&name));
+        let wait_timer = self.obs.timer();
         self.stats.lock_waits.bump();
         let mut s = cell.state.lock();
         while *s == WaitOutcome::Waiting {
@@ -174,12 +205,16 @@ impl LockManager {
                 )));
             }
         }
-        self.note_grant(&name, mode, duration);
+        self.obs.hist.lock_wait.record_since(wait_timer);
+        self.note_grant(txn, &name, mode, duration);
         Ok(())
     }
 
-    /// Record the grant (mode/duration/kind) in the stats counters.
-    fn note_grant(&self, name: &LockName, _mode: LockMode, duration: LockDuration) {
+    /// Record the grant (mode/duration/kind) in the stats counters and
+    /// the trace ring.
+    fn note_grant(&self, txn: TxnId, name: &LockName, mode: LockMode, duration: LockDuration) {
+        self.obs
+            .event(EventKind::LockGrant, mode_tag(mode), txn.0, 0, name_tag(name));
         self.stats.locks_acquired.bump();
         match duration {
             LockDuration::Instant => self.stats.locks_instant.bump(),

@@ -1,0 +1,316 @@
+//! `ariesim-obs` — runtime observability for the ARIES/IM reproduction.
+//!
+//! Three pillars, all std-only and lock-free on the hot path:
+//!
+//! * [`hist`] — log2-bucket latency histograms for latch waits, lock
+//!   waits, log forces, page I/O, and whole index operations.
+//! * [`trace`] — a fixed-capacity seqlock event ring recording typed,
+//!   timestamped events (latch hand-offs, lock grants/waits/denials, SMO
+//!   windows, traversal restarts, log forces, CLR writes), dumpable as
+//!   JSONL.
+//! * [`monitor`] — live checks of the latch-protocol invariants the paper
+//!   argues for: page-latch depth ≤ 2, no unconditional lock wait while
+//!   latched, and page-oriented (traversal-free) restart redo.
+//!
+//! Everything hangs off an [`Obs`] handle (an `Arc` internally). Engine
+//! components accept one via `*_with_obs` constructors; the default is
+//! [`Obs::disabled`], which reduces every histogram/trace call to a single
+//! branch on a `bool`. Invariant monitoring is always on — it is the
+//! cheapest pillar (a thread-local increment) and the most valuable one.
+
+pub mod hist;
+pub mod json;
+pub mod monitor;
+pub mod trace;
+
+pub use hist::{fmt_ns, HistogramSnapshot, LatencyHistogram};
+pub use monitor::{current_latch_depth, Monitor, MonitorSnapshot, MAX_LATCH_DEPTH};
+pub use trace::{Event, EventKind, EventRing, ModeTag};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared handle to one observability domain (typically one per `Rig`
+/// or one per database instance).
+pub type ObsHandle = Arc<Obs>;
+
+/// Latency histograms kept by an [`Obs`], one per instrumented site.
+#[derive(Default)]
+pub struct Histograms {
+    /// Time blocked acquiring a page latch (only the wait path).
+    pub latch_wait_page: LatencyHistogram,
+    /// Time blocked acquiring the index-wide tree latch.
+    pub latch_wait_tree: LatencyHistogram,
+    /// Time blocked in an unconditional lock wait.
+    pub lock_wait: LatencyHistogram,
+    /// Duration of a synchronous log force (group commit flush).
+    pub log_force: LatencyHistogram,
+    /// Disk read of one page into the buffer pool.
+    pub page_read: LatencyHistogram,
+    /// Disk write of one dirty page out of the buffer pool.
+    pub page_write: LatencyHistogram,
+    /// Whole `fetch`/`fetch_next` call.
+    pub op_fetch: LatencyHistogram,
+    /// Whole `insert` call (including any splits it triggered).
+    pub op_insert: LatencyHistogram,
+    /// Whole `delete` call (including any page deletes it triggered).
+    pub op_delete: LatencyHistogram,
+    /// One structure modification operation (split or page delete).
+    pub op_smo: LatencyHistogram,
+    /// Transaction commit, including its log force.
+    pub op_commit: LatencyHistogram,
+}
+
+impl Histograms {
+    /// Stable (name, histogram) listing used by the report and JSON
+    /// exporters; order is the order rows appear in the report.
+    pub fn named(&self) -> [(&'static str, &LatencyHistogram); 11] {
+        [
+            ("latch_wait_page", &self.latch_wait_page),
+            ("latch_wait_tree", &self.latch_wait_tree),
+            ("lock_wait", &self.lock_wait),
+            ("log_force", &self.log_force),
+            ("page_read", &self.page_read),
+            ("page_write", &self.page_write),
+            ("op_fetch", &self.op_fetch),
+            ("op_insert", &self.op_insert),
+            ("op_delete", &self.op_delete),
+            ("op_smo", &self.op_smo),
+            ("op_commit", &self.op_commit),
+        ]
+    }
+}
+
+/// One observability domain: histograms + event ring + invariant monitor.
+pub struct Obs {
+    enabled: bool,
+    pub hist: Histograms,
+    pub ring: EventRing,
+    pub monitor: Monitor,
+}
+
+/// Default event-ring capacity for enabled handles (power of two).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+impl Obs {
+    /// A disabled handle: histograms and tracing compile down to one
+    /// branch; invariant monitoring stays live (it is nearly free and
+    /// guards correctness, not performance).
+    pub fn disabled() -> ObsHandle {
+        Arc::new(Obs {
+            enabled: false,
+            hist: Histograms::default(),
+            ring: EventRing::new(8),
+            monitor: Monitor::default(),
+        })
+    }
+
+    /// An enabled handle with an event ring of (at least) `ring_capacity`.
+    pub fn enabled(ring_capacity: usize) -> ObsHandle {
+        Arc::new(Obs {
+            enabled: true,
+            hist: Histograms::default(),
+            ring: EventRing::new(ring_capacity),
+            monitor: Monitor::default(),
+        })
+    }
+
+    /// Whether timing/tracing is active. Monitors ignore this.
+    #[inline]
+    pub fn on(&self) -> bool {
+        self.enabled
+    }
+
+    /// Start a timer if enabled; pair with
+    /// [`LatencyHistogram::record_since`].
+    #[inline]
+    pub fn timer(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Record a trace event (no-op when disabled).
+    #[inline]
+    pub fn event(&self, kind: EventKind, mode: ModeTag, txn: u64, page: u32, aux: u64) {
+        if self.enabled {
+            self.ring.push(kind, mode, txn, page, aux);
+        }
+    }
+
+    /// Reset histograms and the event ring (monitor counters persist —
+    /// a past violation should not be erasable between report windows).
+    pub fn reset(&self) {
+        for (_, h) in self.hist.named() {
+            h.reset();
+        }
+        self.ring.reset();
+    }
+
+    /// Aligned-text report: one histogram per row plus the monitor
+    /// verdict. This is what `experiments -- all --obs` prints.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "site", "count", "p50", "p95", "p99", "max", "mean"
+        ));
+        for (name, h) in self.hist.named() {
+            let s = h.snapshot();
+            if s.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<18} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+                name,
+                s.count,
+                fmt_ns(s.p50()),
+                fmt_ns(s.p95()),
+                fmt_ns(s.p99()),
+                fmt_ns(s.max()),
+                fmt_ns(s.mean_ns()),
+            ));
+        }
+        let m = self.monitor.snapshot();
+        out.push_str(&format!(
+            "latch monitor: max page-latch depth {} (limit {}), \
+             depth violations {}, lock-wait-while-latched {}, \
+             latch underflows {}, redo traversals {} — {}\n",
+            m.max_latch_depth,
+            MAX_LATCH_DEPTH,
+            m.latch_depth_violations,
+            m.lock_wait_with_latch_violations,
+            m.latch_underflows,
+            m.redo_traversal_violations,
+            if m.clean() { "CLEAN" } else { "VIOLATED" },
+        ));
+        out.push_str(&format!(
+            "event ring: {} events recorded, {} resident (capacity {})\n",
+            self.ring.recorded(),
+            self.ring.snapshot().len(),
+            self.ring.capacity(),
+        ));
+        out
+    }
+
+    /// Full JSON export: every histogram (buckets included), the monitor
+    /// snapshot, and ring metadata. One JSON object, machine-readable.
+    pub fn to_json(&self) -> String {
+        let mut root = json::Object::new();
+        let mut hists = String::from("{");
+        let mut first = true;
+        for (name, h) in self.hist.named() {
+            let s = h.snapshot();
+            if !first {
+                hists.push(',');
+            }
+            first = false;
+            let mut o = json::Object::new();
+            o.field_u64("count", s.count);
+            o.field_u64("sum_ns", s.sum_ns);
+            o.field_u64("max_ns", s.max_ns);
+            o.field_u64("p50_ns", s.p50());
+            o.field_u64("p95_ns", s.p95());
+            o.field_u64("p99_ns", s.p99());
+            // Trim trailing zero buckets to keep the export compact.
+            let last = s.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+            o.field_raw("buckets", &json::array_u64(&s.buckets[..last]));
+            hists.push_str(&format!("\"{name}\":{}", o.finish()));
+        }
+        hists.push('}');
+        root.field_raw("histograms", &hists);
+
+        let m = self.monitor.snapshot();
+        let mut mo = json::Object::new();
+        mo.field_u64("max_latch_depth", m.max_latch_depth);
+        mo.field_u64("latch_depth_violations", m.latch_depth_violations);
+        mo.field_u64(
+            "lock_wait_with_latch_violations",
+            m.lock_wait_with_latch_violations,
+        );
+        mo.field_u64("latch_underflows", m.latch_underflows);
+        mo.field_u64("redo_traversal_violations", m.redo_traversal_violations);
+        mo.field_bool("clean", m.clean());
+        root.field_raw("monitor", &mo.finish());
+
+        let mut ro = json::Object::new();
+        ro.field_u64("recorded", self.ring.recorded());
+        ro.field_u64("capacity", self.ring.capacity() as u64);
+        root.field_raw("ring", &ro.finish());
+        root.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.on());
+        assert!(obs.timer().is_none());
+        obs.event(EventKind::LogForce, ModeTag::None, 0, 0, 0);
+        assert_eq!(obs.ring.recorded(), 0);
+        obs.hist.log_force.record_since(obs.timer());
+        assert_eq!(obs.hist.log_force.snapshot().count, 0);
+    }
+
+    #[test]
+    fn enabled_handle_records() {
+        let obs = Obs::enabled(64);
+        assert!(obs.on());
+        let t = obs.timer();
+        assert!(t.is_some());
+        obs.hist.lock_wait.record_since(t);
+        obs.event(EventKind::LockGrant, ModeTag::X, 5, 0, 99);
+        assert_eq!(obs.hist.lock_wait.snapshot().count, 1);
+        assert_eq!(obs.ring.recorded(), 1);
+    }
+
+    #[test]
+    fn report_lists_active_sites_and_verdict() {
+        let obs = Obs::enabled(64);
+        obs.hist.op_insert.record_ns(1500);
+        obs.hist.op_insert.record_ns(2500);
+        let report = obs.render_report();
+        assert!(report.contains("op_insert"));
+        assert!(!report.contains("op_delete")); // zero-count rows hidden
+        assert!(report.contains("CLEAN"));
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        let obs = Obs::enabled(64);
+        obs.hist.log_force.record_ns(40_000);
+        obs.event(EventKind::LogForce, ModeTag::None, 1, 0, 512);
+        let text = obs.to_json();
+        let v = json::parse(&text).expect("valid JSON");
+        let lf = v.get("histograms").unwrap().get("log_force").unwrap();
+        assert_eq!(lf.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            v.get("monitor").unwrap().get("clean"),
+            Some(&json::JsonValue::Bool(true))
+        );
+        assert_eq!(v.get("ring").unwrap().get("recorded").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn reset_clears_measurements_not_monitor() {
+        let obs = Obs::enabled(64);
+        obs.hist.op_fetch.record_ns(10);
+        obs.event(EventKind::LockDeny, ModeTag::S, 1, 2, 3);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                obs.monitor.on_page_latch_acquired(1);
+                obs.monitor.on_page_latch_released(1);
+            });
+        });
+        obs.reset();
+        assert_eq!(obs.hist.op_fetch.snapshot().count, 0);
+        assert_eq!(obs.ring.snapshot().len(), 0);
+        assert_eq!(obs.monitor.snapshot().max_latch_depth, 1);
+    }
+}

@@ -49,6 +49,9 @@ pub fn restart(
     stats: &StatsHandle,
 ) -> Result<RestartOutcome> {
     let mut out = RestartOutcome::default();
+    // ARIES/IM redo is page-oriented: this restart must add nothing to
+    // `redo_traversals` (checked against the monitor at the end).
+    let redo_traversals_before = stats.snapshot().redo_traversals;
 
     // ---------------- Analysis ------------------------------------------------
     let ckpt_lsn = log.read_master()?;
@@ -201,5 +204,8 @@ pub fn restart(
     }
 
     log.flush_all()?;
+    pool.obs()
+        .monitor
+        .on_restart_complete(stats.snapshot().redo_traversals - redo_traversals_before);
     Ok(out)
 }

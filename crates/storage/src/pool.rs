@@ -22,6 +22,7 @@
 use crate::disk::DiskManager;
 use ariesim_common::stats::{Bump, StatsHandle};
 use ariesim_common::{Error, Lsn, PageBuf, PageId, Result};
+use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle};
 use ariesim_wal::{DptEntry, LogManager};
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
@@ -106,6 +107,7 @@ pub struct BufferPool {
     disk: DiskManager,
     log: Arc<LogManager>,
     stats: StatsHandle,
+    obs: ObsHandle,
 }
 
 impl BufferPool {
@@ -114,6 +116,16 @@ impl BufferPool {
         log: Arc<LogManager>,
         opts: PoolOptions,
         stats: StatsHandle,
+    ) -> Arc<BufferPool> {
+        BufferPool::new_with_obs(disk, log, opts, stats, Obs::disabled())
+    }
+
+    pub fn new_with_obs(
+        disk: DiskManager,
+        log: Arc<LogManager>,
+        opts: PoolOptions,
+        stats: StatsHandle,
+        obs: ObsHandle,
     ) -> Arc<BufferPool> {
         assert!(opts.frames >= 8, "pool too small to be useful");
         Arc::new(BufferPool {
@@ -129,7 +141,12 @@ impl BufferPool {
             disk,
             log,
             stats,
+            obs,
         })
+    }
+
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
     }
 
     pub fn stats(&self) -> &StatsHandle {
@@ -181,12 +198,16 @@ impl BufferPool {
                         Some(g) => g,
                         None => {
                             self.stats.latch_page_waits.bump();
-                            slot.read_arc()
+                            let wait = self.obs.timer();
+                            let g = slot.read_arc();
+                            self.obs.hist.latch_wait_page.record_since(wait);
+                            g
                         }
                     }
                 };
                 self.stats.latches_page.bump();
                 latch_depth_inc();
+                self.note_latch_acquired(page, ModeTag::S);
                 Ok(PageReadGuard {
                     latch: Some(latch),
                     pool: self.clone(),
@@ -196,6 +217,7 @@ impl BufferPool {
             Claimed::Loaded(wlatch, idx) => {
                 self.stats.latches_page.bump();
                 latch_depth_inc();
+                self.note_latch_acquired(page, ModeTag::S);
                 Ok(PageReadGuard {
                     latch: Some(ArcRwLockWriteGuard::downgrade(wlatch)),
                     pool: self.clone(),
@@ -222,12 +244,16 @@ impl BufferPool {
                         Some(g) => g,
                         None => {
                             self.stats.latch_page_waits.bump();
-                            slot.write_arc()
+                            let wait = self.obs.timer();
+                            let g = slot.write_arc();
+                            self.obs.hist.latch_wait_page.record_since(wait);
+                            g
                         }
                     }
                 };
                 self.stats.latches_page.bump();
                 latch_depth_inc();
+                self.note_latch_acquired(page, ModeTag::X);
                 Ok(PageWriteGuard {
                     latch: Some(latch),
                     pool: self.clone(),
@@ -237,6 +263,7 @@ impl BufferPool {
             Claimed::Loaded(wlatch, idx) => {
                 self.stats.latches_page.bump();
                 latch_depth_inc();
+                self.note_latch_acquired(page, ModeTag::X);
                 Ok(PageWriteGuard {
                     latch: Some(wlatch),
                     pool: self.clone(),
@@ -244,6 +271,16 @@ impl BufferPool {
                 })
             }
         }
+    }
+
+    fn note_latch_acquired(&self, page: PageId, mode: ModeTag) {
+        self.obs.monitor.on_page_latch_acquired(page.0);
+        self.obs.event(EventKind::LatchAcquire, mode, 0, page.0, 0);
+    }
+
+    fn note_latch_released(&self, page: u32, mode: ModeTag) {
+        self.obs.monitor.on_page_latch_released(page);
+        self.obs.event(EventKind::LatchRelease, mode, 0, page, 0);
     }
 
     /// Pin `page`'s frame, loading it from disk if absent. On a miss, the
@@ -303,10 +340,14 @@ impl BufferPool {
             if old.dirty {
                 // WAL rule: the log must cover the page before it hits disk.
                 self.log.flush_to(latch.page_lsn())?;
+                let io = self.obs.timer();
                 self.disk.write_page(&latch)?;
+                self.obs.hist.page_write.record_since(io);
                 self.inner.lock().dpt.remove(&old.page);
             }
+            let io = self.obs.timer();
             *latch = self.disk.read_page(page)?;
+            self.obs.hist.page_read.record_since(io);
             return Ok(Claimed::Loaded(latch, idx));
         }
     }
@@ -335,7 +376,9 @@ impl BufferPool {
         };
         if dirty {
             self.log.flush_to(guard.page_lsn())?;
+            let io = self.obs.timer();
             self.disk.write_page(&guard)?;
+            self.obs.hist.page_write.record_since(io);
             let mut g = self.inner.lock();
             g.meta[guard.frame].dirty = false;
             g.dpt.remove(&page);
@@ -423,9 +466,11 @@ impl std::ops::Deref for PageReadGuard {
 
 impl Drop for PageReadGuard {
     fn drop(&mut self) {
+        let page = self.latch.as_ref().map_or(0, |l| l.page_id().0);
         // Latch released before the pin, preserving "pins==0 ⇒ latch free".
         self.latch.take();
         latch_depth_dec();
+        self.pool.note_latch_released(page, ModeTag::S);
         self.pool.unpin(self.frame);
     }
 }
@@ -455,6 +500,9 @@ impl PageWriteGuard {
     /// Downgrade to a shared guard without releasing the latch.
     pub fn downgrade(mut self) -> PageReadGuard {
         let latch = self.latch.take().expect("latch held");
+        let page = latch.page_id().0;
+        self.pool.obs.event(EventKind::LatchRelease, ModeTag::X, 0, page, 0);
+        self.pool.obs.event(EventKind::LatchAcquire, ModeTag::S, 0, page, 0);
         let guard = PageReadGuard {
             latch: Some(ArcRwLockWriteGuard::downgrade(latch)),
             pool: self.pool.clone(),
@@ -481,8 +529,10 @@ impl std::ops::DerefMut for PageWriteGuard {
 
 impl Drop for PageWriteGuard {
     fn drop(&mut self) {
+        let page = self.latch.as_ref().map_or(0, |l| l.page_id().0);
         self.latch.take();
         latch_depth_dec();
+        self.pool.note_latch_released(page, ModeTag::X);
         self.pool.unpin(self.frame);
     }
 }

@@ -217,6 +217,7 @@ impl TransactionManager {
     /// End. (The force is the only synchronous I/O a transaction requires —
     /// the paper's §1 efficiency measure.)
     pub fn commit(&self, txn: &TxnHandle) -> Result<()> {
+        let op = self.pool.obs().timer();
         txn.check_active()?;
         let commit_lsn = txn.with_logger(&self.log, |l| l.control(RecordKind::Commit));
         self.log.flush_to(commit_lsn)?;
@@ -225,6 +226,7 @@ impl TransactionManager {
         txn.with_logger(&self.log, |l| l.control(RecordKind::End));
         txn.inner.lock().phase = Phase::Finished;
         self.inner.lock().table.remove(&txn.id);
+        self.pool.obs().hist.op_commit.record_since(op);
         Ok(())
     }
 

@@ -14,8 +14,9 @@
 //! disk.
 
 use crate::frame::{self, FrameRead, FIRST_LSN, LOG_MAGIC};
-use crate::record::LogRecord;
+use crate::record::{LogRecord, RecordKind};
 use ariesim_common::stats::{Bump, StatsHandle};
+use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle};
 use ariesim_common::{Error, Lsn, Result};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -49,12 +50,23 @@ pub struct LogManager {
     master_path: PathBuf,
     opts: LogOptions,
     stats: StatsHandle,
+    obs: ObsHandle,
 }
 
 impl LogManager {
     /// Open (or create) the log at `path`. On open, scans for a torn tail and
     /// truncates the trustworthy image there, exactly as restart would.
     pub fn open(path: &Path, opts: LogOptions, stats: StatsHandle) -> Result<LogManager> {
+        LogManager::open_with_obs(path, opts, stats, Obs::disabled())
+    }
+
+    /// [`LogManager::open`] with an explicit observability handle.
+    pub fn open_with_obs(
+        path: &Path,
+        opts: LogOptions,
+        stats: StatsHandle,
+        obs: ObsHandle,
+    ) -> Result<LogManager> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -100,6 +112,7 @@ impl LogManager {
             master_path: path.with_extension("master"),
             opts,
             stats,
+            obs,
         })
     }
 
@@ -114,6 +127,12 @@ impl LogManager {
         g.last_lsn = lsn;
         self.stats.log_records.bump();
         self.stats.log_bytes.add(framed.len() as u64);
+        // CLRs (including the dummy CLRs ending nested top actions) are the
+        // trace hooks for rollback progress; every write site funnels here.
+        if matches!(rec.kind, RecordKind::Clr | RecordKind::DummyClr) {
+            self.obs
+                .event(EventKind::ClrWrite, ModeTag::None, rec.txn.0, 0, lsn.0);
+        }
         lsn
     }
 
@@ -142,6 +161,7 @@ impl LogManager {
         if from == to {
             return Ok(());
         }
+        let force = self.obs.timer();
         g.file.seek(SeekFrom::Start(from as u64))?;
         let slice: Vec<u8> = g.image[from..to].to_vec();
         g.file.write_all(&slice)?;
@@ -150,6 +170,14 @@ impl LogManager {
         }
         g.durable_end = g.tail;
         self.stats.log_forces.bump();
+        self.obs.hist.log_force.record_since(force);
+        self.obs.event(
+            EventKind::LogForce,
+            ModeTag::None,
+            0,
+            0,
+            (to - from) as u64,
+        );
         Ok(())
     }
 

@@ -1,0 +1,256 @@
+//! Std-only stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no access to a crates registry, so the real
+//! `criterion` cannot be vendored. This shim keeps the `benches/` targets
+//! compiling and producing *useful* numbers: each benchmark runs a short
+//! calibrated measurement loop and prints mean time per iteration. It does
+//! not implement criterion's statistics, HTML reports, or CLI filtering.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+}
+
+/// Group of related benchmarks (shares tuning knobs).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+/// Declared throughput of a benchmark (accepted, not reported).
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Measurement handle passed to benchmark closures.
+#[derive(Default)]
+pub struct Bencher {
+    /// (total time, total iterations) accumulated by `iter`/`iter_custom`.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `f` over a calibrated number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it runs ≳1ms, then measure it.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(1) || iters >= 1 << 24 {
+                self.accumulate(el, iters);
+                return;
+            }
+            iters *= 8;
+        }
+    }
+
+    /// `f(iters)` must run `iters` iterations and return the elapsed time.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let iters = 32;
+        let el = f(iters);
+        self.accumulate(el, iters);
+    }
+
+    fn accumulate(&mut self, el: Duration, iters: u64) {
+        let (t, n) = self.measured.take().unwrap_or_default();
+        self.measured = Some((t + el, n + iters));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, budget: Duration, f: &mut F) {
+    let start = Instant::now();
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher::default();
+        f(&mut b);
+        if let Some((t, n)) = b.measured {
+            total += t;
+            iters += n;
+        }
+        if start.elapsed() > budget {
+            break;
+        }
+    }
+    if iters == 0 {
+        println!("{label:<40} (no measurement)");
+    } else {
+        let per = total.as_nanos() as f64 / iters as f64;
+        println!("{label:<40} {per:>12.0} ns/iter  ({iters} iters)");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        let mut c = Criterion::default();
+        c.sample_size(2).measurement_time(Duration::from_millis(10));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(1).measurement_time(Duration::from_millis(5));
+        g.throughput(Throughput::Elements(1));
+        let mut seen = 0u32;
+        g.bench_with_input(BenchmarkId::new("n", 7), &7u32, |b, &n| {
+            b.iter_custom(|iters| {
+                seen = n;
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(n);
+                }
+                t.elapsed()
+            })
+        });
+        g.finish();
+        assert_eq!(seen, 7);
+    }
+}

@@ -45,12 +45,14 @@
 //! | [`btree`] | `ariesim-btree` | **ARIES/IM itself** |
 //! | [`kvl`] | `ariesim-kvl` | ARIES/KVL baseline |
 //! | [`db`] | `ariesim-db` | assembled engine facade |
+//! | [`obs`] | `ariesim-obs` | latency histograms, event tracing, invariant monitors |
 
 pub use ariesim_btree as btree;
 pub use ariesim_common as common;
 pub use ariesim_db as db;
 pub use ariesim_kvl as kvl;
 pub use ariesim_lock as lock;
+pub use ariesim_obs as obs;
 pub use ariesim_record as record;
 pub use ariesim_recovery as recovery;
 pub use ariesim_storage as storage;

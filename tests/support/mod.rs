@@ -8,6 +8,7 @@ use ariesim::common::stats::{new_stats, StatsHandle};
 use ariesim::common::tmp::TempDir;
 use ariesim::common::{IndexId, IndexKey, PageId, Rid};
 use ariesim::lock::LockManager;
+use ariesim::obs::{Obs, ObsHandle};
 use ariesim::storage::{BufferPool, DiskManager, PoolOptions, SpaceMap, SpaceRm};
 use ariesim::txn::{RmRegistry, TransactionManager};
 use ariesim::wal::{LogManager, LogOptions};
@@ -22,23 +23,37 @@ pub struct Fix {
     pub locks: Arc<LockManager>,
     pub tm: Arc<TransactionManager>,
     pub tree: Arc<BTree>,
+    pub rms: Arc<RmRegistry>,
+    pub obs: ObsHandle,
 }
 
 pub fn fix(protocol: LockProtocol, unique: bool) -> Fix {
+    fix_with_obs(protocol, unique, Obs::disabled())
+}
+
+#[allow(dead_code)]
+pub fn fix_with_obs(protocol: LockProtocol, unique: bool, obs: ObsHandle) -> Fix {
     let dir = TempDir::new("scenario");
     let stats = new_stats();
     let log = Arc::new(
-        LogManager::open(&dir.file("wal"), LogOptions::default(), stats.clone()).unwrap(),
+        LogManager::open_with_obs(
+            &dir.file("wal"),
+            LogOptions::default(),
+            stats.clone(),
+            obs.clone(),
+        )
+        .unwrap(),
     );
     let disk = DiskManager::open(&dir.file("db"), stats.clone()).unwrap();
-    let pool = BufferPool::new(
+    let pool = BufferPool::new_with_obs(
         disk,
         log.clone(),
         PoolOptions { frames: 512 },
         stats.clone(),
+        obs.clone(),
     );
     SpaceMap::initialize(&pool).unwrap();
-    let locks = Arc::new(LockManager::new(stats.clone()));
+    let locks = Arc::new(LockManager::new_with_obs(stats.clone(), obs.clone()));
     let rms = Arc::new(RmRegistry::new());
     let index_rm = IndexRm::new(pool.clone(), stats.clone());
     rms.register(index_rm.clone());
@@ -47,7 +62,7 @@ pub fn fix(protocol: LockProtocol, unique: bool) -> Fix {
         log.clone(),
         locks.clone(),
         pool.clone(),
-        rms,
+        rms.clone(),
         stats.clone(),
     ));
     let txn = tm.begin();
@@ -72,6 +87,8 @@ pub fn fix(protocol: LockProtocol, unique: bool) -> Fix {
         locks,
         tm,
         tree,
+        rms,
+        obs,
     }
 }
 
