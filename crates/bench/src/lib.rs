@@ -5,6 +5,8 @@
 //! EXPERIMENTS.md; the Criterion benches under `benches/` measure the same
 //! quantities under the Criterion protocol.
 
+pub mod torture;
+
 use ariesim_btree::{BTree, IndexRm, LockProtocol};
 use ariesim_common::stats::{new_stats, StatsHandle};
 use ariesim_common::tmp::TempDir;

@@ -319,6 +319,7 @@ impl BTree {
             crate::apply::apply_body(&mut g, leaf_id, &body)?;
             let lsn = logger.update(RmId::Index, leaf_id, body.encode());
             g.record_update(lsn);
+            ariesim_fault::crash_point!("btree.delete.key_logged");
             let now_empty = g.slot_count() == 0;
             drop(g);
             if now_empty {

@@ -298,6 +298,7 @@ impl BTree {
         crate::apply::apply_body(g, pid, &body)?;
         let lsn = txn.with_logger(&self.log, |l| l.update(RmId::Index, pid, body.encode()));
         g.record_update(lsn);
+        ariesim_fault::crash_point!("btree.insert.key_logged");
         Ok(Step::Done)
     }
 

@@ -26,6 +26,7 @@ use crate::apply::apply_body;
 use crate::body::IndexBody;
 use crate::node::{node_cell, node_find_child, node_search, raw_cells, NodeCell};
 use crate::BTree;
+use ariesim_fault::crash_point;
 use ariesim_obs::{EventKind, ModeTag};
 use ariesim_common::key::SearchKey;
 use ariesim_common::slotted::SLOT_LEN;
@@ -81,6 +82,7 @@ impl BTree {
             let lsn = logger.update(RmId::Index, child, body.encode());
             cg.record_update(lsn);
         }
+        crash_point!("smo.grow.child_formatted");
         let body = IndexBody::RootReplace {
             index: self.index_id,
             old_level: level,
@@ -91,6 +93,7 @@ impl BTree {
         apply_body(&mut g, self.root, &body)?;
         let lsn = logger.update(RmId::Index, self.root, body.encode());
         g.record_update(lsn);
+        crash_point!("smo.grow.root_replaced");
         Ok(child)
     }
 
@@ -141,6 +144,7 @@ impl BTree {
         };
         // Allocate and format the new right page (two latches held: target + new).
         let new_page = self.space.allocate(logger)?;
+        crash_point!("smo.split.allocated");
         {
             let mut ng = self.pool.fix_x(new_page)?;
             let body = IndexBody::PageFormat {
@@ -155,6 +159,7 @@ impl BTree {
             let lsn = logger.update(RmId::Index, new_page, body.encode());
             ng.record_update(lsn);
         }
+        crash_point!("smo.split.new_formatted");
         // Shrink the split page.
         {
             let body = IndexBody::SplitShrink {
@@ -169,6 +174,7 @@ impl BTree {
             g.record_update(lsn);
         }
         drop(g);
+        crash_point!("smo.split.shrunk");
         // Rechain the old right neighbour (leaf level only; leaf latches are
         // released before any higher-level latch is requested — §4).
         if is_leaf && !old_next.is_null() {
@@ -180,9 +186,11 @@ impl BTree {
                     new: new_page,
                 },
             )?;
+            crash_point!("smo.split.rechained");
         }
         self.stats.smo_splits.bump();
         self.post_separator(logger, path, idx - 1, target, sep, new_page)?;
+        crash_point!("smo.split.sep_posted");
         Ok(new_page)
     }
 
@@ -215,6 +223,7 @@ impl BTree {
                 apply_body(&mut g, pa, &body)?;
                 let lsn = logger.update(RmId::Index, pa, body.encode());
                 g.record_update(lsn);
+                crash_point!("smo.post.sep_added");
                 return Ok(());
             }
             drop(g);
@@ -268,7 +277,9 @@ impl BTree {
         }
         let idx = path.len() - 1;
         self.split_one(logger, &mut path, idx)?;
+        crash_point!("smo.split.before_dummy_clr");
         logger.dummy_clr(token);
+        crash_point!("smo.split.after_dummy_clr");
         // Re-descend: the separator just posted routes `search` to whichever
         // half now covers it (we still hold the tree latch, so this is
         // cheap and race-free).
@@ -352,6 +363,7 @@ impl BTree {
                         },
                     )?;
                 }
+                crash_point!("smo.delete.unchained");
             }
             // Remove the parent's separator for the victim.
             let pa = path[victim_idx - 1];
@@ -376,6 +388,7 @@ impl BTree {
                 g.record_update(lsn);
                 g.slot_count() == 0
             };
+            crash_point!("smo.delete.sep_removed");
             // Free the victim page.
             {
                 let mut g = self.pool.fix_x(victim)?;
@@ -389,7 +402,9 @@ impl BTree {
                 let lsn = logger.update(RmId::Index, victim, body.encode());
                 g.record_update(lsn);
             }
+            crash_point!("smo.delete.page_freed");
             self.space.free(logger, victim)?;
+            crash_point!("smo.delete.space_freed");
             self.stats.smo_page_deletes.bump();
             performed = true;
             if pa_empty {
@@ -399,7 +414,9 @@ impl BTree {
             }
         }
         if performed {
+            crash_point!("smo.delete.before_dummy_clr");
             logger.dummy_clr(token);
+            crash_point!("smo.delete.after_dummy_clr");
         }
         Ok(())
     }

@@ -1,0 +1,395 @@
+//! Deterministic crash-point injection.
+//!
+//! ARIES's central claim is crash safety at *every* instant, not just at the
+//! handful of drop points a hand-written test thinks of. This crate provides
+//! the substrate for checking that claim mechanically: named
+//! [`crash_point!`] hooks threaded through the WAL append/flush path, buffer
+//! pool write-back, every log-record boundary inside the B+-tree SMOs (the
+//! dummy-CLR windows of the paper's Figures 9 and 10), the undo driver, and
+//! the restart passes themselves.
+//!
+//! A hook is **zero-cost when disarmed**: one relaxed atomic load guards the
+//! whole thing. When the harness arms the registry, a hook does one of two
+//! things at each execution ("hit"):
+//!
+//! * **record** — register the point's name (first-seen order) and count the
+//!   hit, so a harness can enumerate every point a workload reaches;
+//! * **crash** — on the N-th hit of the armed point, simulate a system
+//!   failure: durable state is whatever the flushed log prefix and on-disk
+//!   pages say at this exact instant, and the process's volatile state is
+//!   torn down by unwinding with a [`CrashSignal`] panic that the harness
+//!   catches at [`run_to_crash`]. (A crash point inside a partially-written
+//!   log flush leaves a genuinely torn tail on disk — exactly what restart's
+//!   torn-tail scan exists for.)
+//!
+//! Arming is **thread-scoped**: only hits on the thread that called
+//! [`arm`]/[`record`] are counted or crashed, so unrelated threads (other
+//! tests in the same binary) can run through armed hooks unharmed. The
+//! registry itself is process-global; harnesses that arm it must serialize
+//! via [`exclusive`].
+//!
+//! ## Durability modes
+//!
+//! [`arm`] crashes with the durable state as-is: the unflushed log tail is
+//! lost, as in a real power failure. [`arm_forced`] first runs the
+//! registered pre-crash hook (the harness points it at
+//! `LogManager::flush_all`), simulating a crash at an instant when the OS
+//! had happened to make the whole tail durable — the adversarial case for
+//! SMO recovery, because the partial SMO's records *are* in the log and
+//! restart must deal with them. Do **not** arm a `wal.*` point in forced
+//! mode: the hook would re-enter the log manager's internal lock.
+
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread::ThreadId;
+
+/// Panic payload carried out of a fired crash point; caught by
+/// [`run_to_crash`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashSignal {
+    /// Name of the crash point that fired.
+    pub point: String,
+    /// Which hit fired (1-based).
+    pub hit: u64,
+}
+
+/// What the durable state looks like at the simulated crash instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Only the flushed log prefix survives (a real power failure: the
+    /// in-memory tail is lost).
+    FlushedPrefix,
+    /// The pre-crash hook (normally `log.flush_all()`) runs first, so the
+    /// whole log tail written so far is durable.
+    ForcedTail,
+}
+
+enum Mode {
+    Disarmed,
+    Record,
+    Armed {
+        point: String,
+        fire_on_hit: u64,
+        durability: Durability,
+    },
+}
+
+struct PointState {
+    name: &'static str,
+    hits: u64,
+}
+
+struct State {
+    mode: Mode,
+    /// Thread whose hits count (the thread that armed the registry).
+    thread: Option<ThreadId>,
+    /// Registered points in first-seen order.
+    points: Vec<PointState>,
+    /// Harness-supplied hook run before a [`Durability::ForcedTail`] crash.
+    pre_crash: Option<Box<dyn Fn() + Send>>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<State> = Mutex::new(State {
+    mode: Mode::Disarmed,
+    thread: None,
+    points: Vec::new(),
+    pre_crash: None,
+});
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// A named crash point. Expands to a single relaxed atomic load when the
+/// registry is disarmed; when active, registers/counts the hit and crashes
+/// if this is the armed point's armed hit.
+#[macro_export]
+macro_rules! crash_point {
+    ($name:expr) => {
+        if $crate::active() {
+            $crate::hit($name);
+        }
+    };
+}
+
+/// True when the registry is recording or armed. Used by [`crash_point!`];
+/// not meant to be called directly.
+#[inline(always)]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Serialize harnesses that arm the global registry (tests in one binary run
+/// on concurrent threads). Hold the guard for the whole arm → run → disarm
+/// sequence.
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    TEST_LOCK.lock()
+}
+
+fn stage(mode: Mode) {
+    let mut g = STATE.lock();
+    g.mode = mode;
+    g.thread = Some(std::thread::current().id());
+    g.points.clear();
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// Stage recording mode: every [`crash_point!`] hit on this thread (after
+/// [`activate`]) is registered and counted, none crash.
+pub fn record() {
+    stage(Mode::Record);
+}
+
+/// Stage a crash at the `fire_on_hit`-th hit (1-based) of `point` on this
+/// thread, with [`Durability::FlushedPrefix`] semantics.
+pub fn arm(point: &str, fire_on_hit: u64) {
+    stage(Mode::Armed {
+        point: point.to_string(),
+        fire_on_hit,
+        durability: Durability::FlushedPrefix,
+    });
+}
+
+/// Like [`arm`], but with [`Durability::ForcedTail`] semantics: the
+/// pre-crash hook is run before unwinding. Never arm a `wal.*` point this
+/// way (the hook re-enters the log manager).
+pub fn arm_forced(point: &str, fire_on_hit: u64) {
+    stage(Mode::Armed {
+        point: point.to_string(),
+        fire_on_hit,
+        durability: Durability::ForcedTail,
+    });
+}
+
+/// Turn the staged mode live. Separate from [`arm`]/[`record`] so a
+/// workload can run its non-interesting prologue (DDL, initial open) with
+/// hooks cold and flip them on at the instant enumeration should start.
+pub fn activate() {
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Disarm everything (recorded points remain readable via [`recorded`]).
+pub fn disarm() {
+    let mut g = STATE.lock();
+    g.mode = Mode::Disarmed;
+    g.thread = None;
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// Register the hook run before a [`Durability::ForcedTail`] crash.
+pub fn set_pre_crash_hook(hook: impl Fn() + Send + 'static) {
+    STATE.lock().pre_crash = Some(Box::new(hook));
+}
+
+/// Remove the pre-crash hook.
+pub fn clear_pre_crash_hook() {
+    STATE.lock().pre_crash = None;
+}
+
+/// Snapshot of every point hit since the last [`record`]/[`arm`], in
+/// first-seen order, with hit counts.
+pub fn recorded() -> Vec<(&'static str, u64)> {
+    STATE
+        .lock()
+        .points
+        .iter()
+        .map(|p| (p.name, p.hits))
+        .collect()
+}
+
+/// A [`crash_point!`] was reached while active. Not meant to be called
+/// directly.
+pub fn hit(name: &'static str) {
+    let mut g = STATE.lock();
+    if matches!(g.mode, Mode::Disarmed) {
+        return;
+    }
+    if g.thread != Some(std::thread::current().id()) {
+        return; // another thread wandered through an armed hook: ignore
+    }
+    let n = match g.points.iter_mut().find(|p| p.name == name) {
+        Some(p) => {
+            p.hits += 1;
+            p.hits
+        }
+        None => {
+            g.points.push(PointState { name, hits: 1 });
+            1
+        }
+    };
+    let durability = match &g.mode {
+        Mode::Armed {
+            point,
+            fire_on_hit,
+            durability,
+        } if point == name && n == *fire_on_hit => *durability,
+        _ => return,
+    };
+    // Fire: one-shot. Disarm before unwinding so the hooks passed through
+    // while the harness recovers (and the pre-crash hook's own log flush)
+    // are inert.
+    g.mode = Mode::Disarmed;
+    g.thread = None;
+    ACTIVE.store(false, Ordering::Relaxed);
+    let hook = if durability == Durability::ForcedTail {
+        g.pre_crash.take()
+    } else {
+        None
+    };
+    drop(g);
+    if let Some(h) = hook {
+        h();
+        STATE.lock().pre_crash = Some(h);
+    }
+    std::panic::panic_any(CrashSignal {
+        point: name.to_string(),
+        hit: n,
+    });
+}
+
+/// Result of driving a workload under an armed registry.
+#[derive(Debug)]
+pub enum Outcome<R> {
+    /// The workload ran to completion (the armed point/hit was never
+    /// reached, or the registry was only recording).
+    Completed(R),
+    /// A crash point fired; all of the closure's state was dropped by the
+    /// unwind, exactly as a process crash drops volatile state.
+    Crashed(CrashSignal),
+}
+
+impl<R> Outcome<R> {
+    /// The signal, if the run crashed.
+    pub fn crashed(self) -> Option<CrashSignal> {
+        match self {
+            Outcome::Crashed(sig) => Some(sig),
+            Outcome::Completed(_) => None,
+        }
+    }
+}
+
+/// Run `f`, catching a fired crash point at this boundary. Non-crash panics
+/// propagate unchanged. The default panic hook is suppressed for
+/// [`CrashSignal`] unwinds so torture runs don't spam stderr.
+pub fn run_to_crash<R>(f: impl FnOnce() -> R) -> Outcome<R> {
+    install_quiet_hook();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => Outcome::Completed(r),
+        Err(payload) => match payload.downcast::<CrashSignal>() {
+            Ok(sig) => Outcome::Crashed(*sig),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
+}
+
+fn install_quiet_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashSignal>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(times: u64) {
+        for _ in 0..times {
+            crash_point!("test.a");
+            crash_point!("test.b");
+        }
+    }
+
+    #[test]
+    fn disarmed_hooks_are_inert() {
+        let _x = exclusive();
+        record(); // clear any earlier test's registrations
+        disarm();
+        probe(3);
+        assert!(recorded().is_empty());
+    }
+
+    #[test]
+    fn record_registers_points_in_order_with_counts() {
+        let _x = exclusive();
+        record();
+        activate();
+        probe(3);
+        disarm();
+        assert_eq!(recorded(), vec![("test.a", 3), ("test.b", 3)]);
+        // Disarmed again: further hits don't count.
+        probe(1);
+        assert_eq!(recorded(), vec![("test.a", 3), ("test.b", 3)]);
+    }
+
+    #[test]
+    fn armed_point_fires_on_exact_hit_and_disarms() {
+        let _x = exclusive();
+        arm("test.b", 2);
+        activate();
+        let out = run_to_crash(|| probe(5));
+        let sig = out.crashed().expect("must crash");
+        assert_eq!(sig.point, "test.b");
+        assert_eq!(sig.hit, 2);
+        // One-shot: the registry disarmed itself before unwinding.
+        assert!(!active());
+        probe(10);
+        disarm();
+    }
+
+    #[test]
+    fn unreached_hit_count_completes() {
+        let _x = exclusive();
+        arm("test.a", 100);
+        activate();
+        let out = run_to_crash(|| {
+            probe(2);
+            7
+        });
+        disarm();
+        match out {
+            Outcome::Completed(v) => assert_eq!(v, 7),
+            Outcome::Crashed(sig) => panic!("unexpected crash at {sig:?}"),
+        }
+    }
+
+    #[test]
+    fn other_threads_do_not_consume_hits() {
+        let _x = exclusive();
+        arm("test.a", 1);
+        activate();
+        // A foreign thread runs straight through the armed point.
+        std::thread::spawn(|| probe(5)).join().unwrap();
+        assert!(active(), "foreign hits must not fire the crash");
+        let out = run_to_crash(|| probe(1));
+        assert!(out.crashed().is_some());
+        disarm();
+    }
+
+    #[test]
+    fn forced_tail_runs_pre_crash_hook_first() {
+        let _x = exclusive();
+        let flag = std::sync::Arc::new(AtomicBool::new(false));
+        let f2 = flag.clone();
+        set_pre_crash_hook(move || f2.store(true, Ordering::SeqCst));
+        arm_forced("test.a", 1);
+        activate();
+        let out = run_to_crash(|| probe(1));
+        assert!(out.crashed().is_some());
+        assert!(flag.load(Ordering::SeqCst), "hook must run before unwind");
+        clear_pre_crash_hook();
+        disarm();
+    }
+
+    #[test]
+    fn non_crash_panics_propagate() {
+        let _x = exclusive();
+        let caught = std::panic::catch_unwind(|| {
+            run_to_crash(|| panic!("a real bug"));
+        });
+        assert!(caught.is_err(), "ordinary panics must not be swallowed");
+    }
+}

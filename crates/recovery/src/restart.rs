@@ -133,6 +133,8 @@ pub fn restart(
         }
     }
 
+    ariesim_fault::crash_point!("recovery.analysis.done");
+
     // ---------------- Redo: repeat history ------------------------------------
     let redo_start = dpt.values().copied().min().unwrap_or(log.next_lsn());
     out.redo_start = redo_start;
@@ -157,6 +159,8 @@ pub fn restart(
             g.record_update(rec.lsn);
             out.redo_applied += 1;
             stats.redo_applied.bump();
+            drop(g);
+            ariesim_fault::crash_point!("recovery.redo.applied");
         }
     }
 
@@ -190,6 +194,7 @@ pub fn restart(
                 out.undone += 1;
                 chain_end.insert(txn, logger.last_lsn);
                 next_undo.insert(txn, rec.prev_lsn);
+                ariesim_fault::crash_point!("recovery.undo.step");
             }
             RecordKind::Clr | RecordKind::DummyClr => {
                 next_undo.insert(txn, rec.undo_next_lsn);
@@ -204,6 +209,7 @@ pub fn restart(
     }
 
     log.flush_all()?;
+    ariesim_fault::crash_point!("recovery.done");
     pool.obs()
         .monitor
         .on_restart_complete(stats.snapshot().redo_traversals - redo_traversals_before);

@@ -22,6 +22,7 @@
 use crate::disk::DiskManager;
 use ariesim_common::stats::{Bump, StatsHandle};
 use ariesim_common::{Error, Lsn, PageBuf, PageId, Result};
+use ariesim_fault::crash_point;
 use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle};
 use ariesim_wal::{DptEntry, LogManager};
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
@@ -338,10 +339,13 @@ impl BufferPool {
             // I/O outside the pool mutex, under the frame's write latch.
             let mut latch = wlatch;
             if old.dirty {
+                crash_point!("pool.evict.begin");
                 // WAL rule: the log must cover the page before it hits disk.
                 self.log.flush_to(latch.page_lsn())?;
+                crash_point!("pool.evict.after_force");
                 let io = self.obs.timer();
                 self.disk.write_page(&latch)?;
+                crash_point!("pool.evict.after_write");
                 self.obs.hist.page_write.record_since(io);
                 self.inner.lock().dpt.remove(&old.page);
             }
@@ -375,9 +379,12 @@ impl BufferPool {
             g.meta[guard.frame].dirty
         };
         if dirty {
+            crash_point!("pool.flush.begin");
             self.log.flush_to(guard.page_lsn())?;
+            crash_point!("pool.flush.after_force");
             let io = self.obs.timer();
             self.disk.write_page(&guard)?;
+            crash_point!("pool.flush.after_write");
             self.obs.hist.page_write.record_since(io);
             let mut g = self.inner.lock();
             g.meta[guard.frame].dirty = false;

@@ -2,6 +2,7 @@
 
 use crate::undo::undo_chain;
 use ariesim_common::stats::StatsHandle;
+use ariesim_fault::crash_point;
 use ariesim_common::{Error, Lsn, Result, TxnId};
 use ariesim_lock::LockManager;
 use ariesim_storage::BufferPool;
@@ -220,10 +221,13 @@ impl TransactionManager {
         let op = self.pool.obs().timer();
         txn.check_active()?;
         let commit_lsn = txn.with_logger(&self.log, |l| l.control(RecordKind::Commit));
+        crash_point!("txn.commit.logged");
         self.log.flush_to(commit_lsn)?;
+        crash_point!("txn.commit.forced");
         self.locks.release_all(txn.id);
         self.run_end_hooks(txn.id);
         txn.with_logger(&self.log, |l| l.control(RecordKind::End));
+        crash_point!("txn.commit.ended");
         txn.inner.lock().phase = Phase::Finished;
         self.inner.lock().table.remove(&txn.id);
         self.pool.obs().hist.op_commit.record_since(op);
@@ -246,8 +250,10 @@ impl TransactionManager {
             g.phase = Phase::Aborting;
         }
         txn.with_logger(&self.log, |l| l.control(RecordKind::Abort));
+        crash_point!("txn.rollback.logged");
         let last = txn.last_lsn();
         let new_last = undo_chain(&self.log, &self.rms, txn.id, last, Lsn::NULL, false)?;
+        crash_point!("txn.rollback.undone");
         {
             let mut g = txn.inner.lock();
             g.last_lsn = new_last;
@@ -284,6 +290,7 @@ impl TransactionManager {
             page: ariesim_common::PageId::NULL,
             body: Vec::new(),
         });
+        crash_point!("txn.ckpt.begin_logged");
         let dpt = self.pool.dpt_snapshot_fenced();
         let (txns, max_txn_id) = {
             let g = self.inner.lock();
@@ -320,8 +327,10 @@ impl TransactionManager {
             page: ariesim_common::PageId::NULL,
             body: data.encode(),
         });
+        crash_point!("txn.ckpt.end_logged");
         self.log.flush_to(end)?;
         self.log.write_master(begin_lsn)?;
+        crash_point!("txn.ckpt.master_written");
         Ok(begin_lsn)
     }
 

@@ -38,12 +38,15 @@ pub fn undo_chain(
         debug_assert_eq!(rec.txn, txn, "undo walked into another txn's record");
         match rec.kind {
             RecordKind::Update => {
+                ariesim_fault::crash_point!("undo.before_action");
                 let rm = rms.get(rec.rm)?;
                 rm.undo(&mut logger, &rec)?;
+                ariesim_fault::crash_point!("undo.after_action");
                 next = rec.prev_lsn;
             }
             RecordKind::Clr | RecordKind::DummyClr => {
                 // Already-compensated work: skip over it.
+                ariesim_fault::crash_point!("undo.skip_clr");
                 next = rec.undo_next_lsn;
             }
             RecordKind::Begin => break,

@@ -16,12 +16,14 @@
 use crate::frame::{self, FrameRead, FIRST_LSN, LOG_MAGIC};
 use crate::record::{LogRecord, RecordKind};
 use ariesim_common::stats::{Bump, StatsHandle};
+use ariesim_fault::crash_point;
 use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle};
 use ariesim_common::{Error, Lsn, Result};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Tuning and durability options.
 #[derive(Clone, Debug, Default)]
@@ -47,6 +49,12 @@ struct Inner {
 /// The write-ahead log manager. Thread-safe; all methods take `&self`.
 pub struct LogManager {
     inner: Mutex<Inner>,
+    /// Mirror of `Inner::durable_end`, updated under the inner lock but
+    /// readable without it: the fast path of [`LogManager::flush_to`] (and
+    /// [`LogManager::flushed_lsn`]) must not serialize behind an in-flight
+    /// flush when the requested LSN is already durable — the WAL-rule check
+    /// on every page write-back hits this path constantly.
+    flushed: AtomicU64,
     master_path: PathBuf,
     opts: LogOptions,
     stats: StatsHandle,
@@ -109,6 +117,7 @@ impl LogManager {
                 tail: end,
                 last_lsn,
             }),
+            flushed: AtomicU64::new(end.0),
             master_path: path.with_extension("master"),
             opts,
             stats,
@@ -125,6 +134,7 @@ impl LogManager {
         g.image.extend_from_slice(&framed);
         g.tail = Lsn(g.image.len() as u64);
         g.last_lsn = lsn;
+        crash_point!("wal.append.tail");
         self.stats.log_records.bump();
         self.stats.log_bytes.add(framed.len() as u64);
         // CLRs (including the dummy CLRs ending nested top actions) are the
@@ -139,6 +149,13 @@ impl LogManager {
     /// Make every record with LSN ≤ `lsn` durable. Group-flushes the whole
     /// tail (later records ride along, as in real group commit).
     pub fn flush_to(&self, lsn: Lsn) -> Result<()> {
+        // Fast path: already durable. Must not take the inner lock, or every
+        // WAL-rule check during page write-back would serialize behind an
+        // in-flight group flush. `flushed` only ever grows, so a stale read
+        // is safe — we just fall through to the locked path.
+        if lsn.0 < self.flushed.load(Ordering::Acquire) {
+            return Ok(());
+        }
         let mut g = self.inner.lock();
         if lsn < g.durable_end {
             return Ok(());
@@ -162,13 +179,22 @@ impl LogManager {
             return Ok(());
         }
         let force = self.obs.timer();
+        crash_point!("wal.flush.begin");
         g.file.seek(SeekFrom::Start(from as u64))?;
         let slice: Vec<u8> = g.image[from..to].to_vec();
-        g.file.write_all(&slice)?;
+        // Two writes with a crash point between them: crashing at
+        // "wal.flush.mid" leaves a genuinely torn tail (first half of the
+        // slice on disk, durable_end not advanced) for the torn-tail scan.
+        let half = slice.len() / 2;
+        g.file.write_all(&slice[..half])?;
+        crash_point!("wal.flush.mid");
+        g.file.write_all(&slice[half..])?;
         if self.opts.fsync {
             g.file.sync_data()?;
         }
+        crash_point!("wal.flush.end");
         g.durable_end = g.tail;
+        self.flushed.store(g.durable_end.0, Ordering::Release);
         self.stats.log_forces.bump();
         self.obs.hist.log_force.record_since(force);
         self.obs.event(
@@ -183,7 +209,7 @@ impl LogManager {
 
     /// LSN below which everything is stable.
     pub fn flushed_lsn(&self) -> Lsn {
-        self.inner.lock().durable_end
+        Lsn(self.flushed.load(Ordering::Acquire))
     }
 
     /// LSN of the most recently appended record; NULL if the log is empty.
@@ -236,12 +262,15 @@ impl LogManager {
     /// Durably record the LSN of the latest complete checkpoint's begin
     /// record. Written atomically via rename.
     pub fn write_master(&self, ckpt_lsn: Lsn) -> Result<()> {
+        crash_point!("wal.master.before");
         let tmp = self.master_path.with_extension("master.tmp");
         let mut body = ckpt_lsn.0.to_le_bytes().to_vec();
         let crc = ariesim_common::codec::crc32c(&body);
         body.extend_from_slice(&crc.to_le_bytes());
         std::fs::write(&tmp, &body)?;
+        crash_point!("wal.master.tmp_written");
         std::fs::rename(&tmp, &self.master_path)?;
+        crash_point!("wal.master.after");
         Ok(())
     }
 
@@ -389,6 +418,26 @@ mod tests {
         let forces = stats.snapshot().log_forces;
         m.flush_to(l1).unwrap();
         assert_eq!(stats.snapshot().log_forces, forces);
+    }
+
+    #[test]
+    fn noop_flush_does_not_serialize_behind_inflight_flush() {
+        let dir = TempDir::new("wal");
+        let m = mgr(&dir);
+        let l1 = m.append(&upd(1, Lsn::NULL, b"a"));
+        m.flush_to(l1).unwrap();
+        // Simulate an in-flight flush by holding the inner lock; a flush_to
+        // for an already-durable LSN must return without acquiring it.
+        let _held = m.inner.lock();
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                m.flush_to(l1).unwrap();
+                tx.send(()).unwrap();
+            });
+            rx.recv_timeout(std::time::Duration::from_secs(2))
+                .expect("no-op flush blocked behind held inner lock");
+        });
     }
 
     #[test]
