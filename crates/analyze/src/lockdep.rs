@@ -1,0 +1,242 @@
+//! Offline checker for the runtime acquisition-order graph dumped by
+//! `ariesim_obs::lockdep::dump_jsonl()`.
+//!
+//! The runtime side records, per thread, an edge `held → acquired` for every
+//! *blocking* acquisition made while another synchronization class is held
+//! (trylocks join the held set but record no edges — a denied trylock never
+//! waits, so it cannot participate in a deadlock). This module replays that
+//! graph against the paper's §4 ordering argument:
+//!
+//! * **Rank order** — TreeLatch(1) → PageLatch(2) → {PoolMutex, LockTable}(3)
+//!   → LockWait(4). An edge from a higher rank to a strictly lower one means
+//!   some thread blocked on a class that other threads acquire *before* the
+//!   one it was holding — the raw material of a deadlock cycle.
+//! * **Page-latch coupling** — PageLatch → PageLatch is the one legal
+//!   rank-equal edge (parent→child / leaf→next-leaf coupling); any other
+//!   rank-equal edge (a mutex while holding a mutex of the same class) is an
+//!   error.
+//! * **No wait under latch** — TreeLatch → LockWait or PageLatch → LockWait
+//!   means a thread entered an unconditional lock-manager wait while holding
+//!   a latch, the exact §4 violation. (LockTable → LockWait is expected: the
+//!   condvar wait releases the table mutex by construction.)
+//! * **Acyclicity** — cycles among *distinct* classes, found by DFS.
+//! * **Chain depth** — the dump's `max_page_latch_chain` must be ≤ 2, the
+//!   paper's "at most two page latches simultaneously" budget.
+
+use crate::Finding;
+use std::collections::{HashMap, HashSet};
+
+/// Class ranks, mirroring `ariesim_obs::lockdep::Class::rank()`. Kept as a
+/// table of names so the checker has no dependency on the obs crate.
+pub fn class_rank(name: &str) -> Option<u32> {
+    match name {
+        "TreeLatch" => Some(1),
+        "PageLatch" => Some(2),
+        "PoolMutex" | "LockTable" => Some(3),
+        "LockWait" => Some(4),
+        _ => None,
+    }
+}
+
+/// One `{"type":"edge",...}` line of the dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    pub held: String,
+    pub acquired: String,
+    pub site: String,
+    pub count: u64,
+}
+
+/// Parsed dump: edges plus the summary counters.
+#[derive(Debug, Default)]
+pub struct Dump {
+    pub edges: Vec<Edge>,
+    pub acquisitions: u64,
+    pub max_page_latch_chain: u64,
+}
+
+/// Extract `"key":"value"` from a flat JSON object line.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let end = line[at..].find('"')?;
+    Some(&line[at..at + end])
+}
+
+/// Extract `"key":N` from a flat JSON object line.
+fn json_num(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    line[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
+/// Parse a `dump_jsonl()` document. Unknown line types are ignored so the
+/// dump format can grow.
+pub fn parse_dump(text: &str) -> Dump {
+    let mut d = Dump::default();
+    for line in text.lines() {
+        match json_str(line, "type") {
+            Some("edge") => {
+                if let (Some(held), Some(acquired)) =
+                    (json_str(line, "held"), json_str(line, "acquired"))
+                {
+                    d.edges.push(Edge {
+                        held: held.to_string(),
+                        acquired: acquired.to_string(),
+                        site: json_str(line, "site").unwrap_or("?").to_string(),
+                        count: json_num(line, "count").unwrap_or(0),
+                    });
+                }
+            }
+            Some("summary") => {
+                d.acquisitions = json_num(line, "acquisitions").unwrap_or(0);
+                d.max_page_latch_chain = json_num(line, "max_page_latch_chain").unwrap_or(0);
+            }
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Check a parsed dump; findings are anchored at the dump "file" with line 0.
+pub fn check_dump(dump_name: &str, d: &Dump) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |msg: String| {
+        findings.push(Finding {
+            file: dump_name.to_string(),
+            line: 0,
+            lint: "lockdep",
+            msg,
+        });
+    };
+
+    // Per-edge rules.
+    for e in &d.edges {
+        let (Some(hr), Some(ar)) = (class_rank(&e.held), class_rank(&e.acquired)) else {
+            push(format!(
+                "unknown class in edge {} -> {} at {}",
+                e.held, e.acquired, e.site
+            ));
+            continue;
+        };
+        if (e.held == "TreeLatch" || e.held == "PageLatch") && e.acquired == "LockWait" {
+            push(format!(
+                "blocking lock wait while holding a {} (site {}, {} times): \
+                 §4 requires releasing every latch before an unconditional lock request",
+                e.held, e.site, e.count
+            ));
+            continue;
+        }
+        if ar < hr {
+            push(format!(
+                "rank-order violation: {}(rank {hr}) held while blocking on \
+                 {}(rank {ar}) at {} ({} times)",
+                e.held, e.acquired, e.site, e.count
+            ));
+        } else if ar == hr && !(e.held == "PageLatch" && e.acquired == "PageLatch") {
+            push(format!(
+                "rank-equal edge {} -> {} at {} ({} times): only page-latch \
+                 coupling may acquire within its own rank",
+                e.held, e.acquired, e.site, e.count
+            ));
+        }
+    }
+
+    // Cycle detection over distinct-class edges (self-edges are the legal
+    // page-latch coupling, excluded).
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for e in &d.edges {
+        if e.held != e.acquired {
+            adj.entry(&e.held).or_default().push(&e.acquired);
+        }
+    }
+    if let Some(cycle) = find_cycle(&adj) {
+        push(format!(
+            "acquisition-order cycle: {} (a deadlock is schedulable)",
+            cycle.join(" -> ")
+        ));
+    }
+
+    if d.max_page_latch_chain > 2 {
+        push(format!(
+            "max page-latch chain depth {} exceeds the paper's budget of 2",
+            d.max_page_latch_chain
+        ));
+    }
+    findings
+}
+
+/// First cycle found by DFS, as the list of classes along it.
+fn find_cycle<'a>(adj: &HashMap<&'a str, Vec<&'a str>>) -> Option<Vec<String>> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Mark {
+        InProgress,
+        Done,
+    }
+    fn dfs<'a>(
+        node: &'a str,
+        adj: &HashMap<&'a str, Vec<&'a str>>,
+        marks: &mut HashMap<&'a str, Mark>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        marks.insert(node, Mark::InProgress);
+        stack.push(node);
+        for &next in adj.get(node).map(Vec::as_slice).unwrap_or(&[]) {
+            match marks.get(next) {
+                Some(Mark::InProgress) => {
+                    let from = stack.iter().position(|&n| n == next).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        stack[from..].iter().map(|s| s.to_string()).collect();
+                    cycle.push(next.to_string());
+                    return Some(cycle);
+                }
+                Some(Mark::Done) => {}
+                None => {
+                    if let Some(c) = dfs(next, adj, marks, stack) {
+                        return Some(c);
+                    }
+                }
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Done);
+        None
+    }
+    let mut marks = HashMap::new();
+    let nodes: HashSet<&str> = adj.keys().copied().collect();
+    let mut ordered: Vec<&str> = nodes.into_iter().collect();
+    ordered.sort();
+    for n in ordered {
+        if !marks.contains_key(n) {
+            if let Some(c) = dfs(n, adj, &mut marks, &mut Vec::new()) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// Human-readable summary of a dump (printed by `arieslint --lockdep`).
+pub fn summarize(d: &Dump) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "lockdep: {} distinct edges, {} acquisitions, max page-latch chain {}\n",
+        d.edges.len(),
+        d.acquisitions,
+        d.max_page_latch_chain
+    ));
+    let mut edges = d.edges.clone();
+    edges.sort_by_key(|e| std::cmp::Reverse(e.count));
+    for e in &edges {
+        out.push_str(&format!(
+            "  {:>10} -> {:<10} {:>8}x  at {}\n",
+            e.held, e.acquired, e.count, e.site
+        ));
+    }
+    out
+}

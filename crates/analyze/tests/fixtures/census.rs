@@ -1,0 +1,14 @@
+// Fixture for the latch census: line 4 lacks an annotation; line 8 takes the
+// tree latch (rank 1) after a page latch (rank 2) in the same function.
+fn unannotated(&self) {
+    let g = self.pool.fix_s(pid)?;
+}
+fn rank_regression(&self) {
+    let g = self.pool.fix_s(pid)?; // latch-rank: 2
+    let t = self.tree_x(); // latch-rank: 1
+}
+fn clean(&self) {
+    let t = self.tree_x(); // latch-rank: 1
+    let g = self.pool.fix_s(pid)?; // latch-rank: 2
+    let c = self.pool.try_fix_x(pid); // latch-rank: 2 (conditional)
+}

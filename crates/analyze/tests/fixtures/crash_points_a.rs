@@ -1,0 +1,6 @@
+// Fixture A for the crash-point registry: declares two points; "fx.dup" is
+// also declared (at a different location) by crash_points_b.rs.
+fn step_one() {
+    crash_point!("fx.dup");
+    crash_point!("fx.only_a");
+}

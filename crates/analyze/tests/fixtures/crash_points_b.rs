@@ -1,0 +1,4 @@
+// Fixture B for the crash-point registry: re-declares "fx.dup".
+fn step_two() {
+    crash_point!("fx.dup");
+}

@@ -1,0 +1,12 @@
+pub fn apply_body(b: &IndexBody) {
+    match b {
+        IndexBody::AddKey(_) => {}
+        IndexBody::RemoveKey(_) => {}
+    }
+}
+
+pub fn undo_body(b: &IndexBody) {
+    match b {
+        IndexBody::AddKey(_) => {}
+    }
+}

@@ -1,0 +1,4 @@
+pub enum IndexBody {
+    AddKey(u32),
+    RemoveKey(u32),
+}

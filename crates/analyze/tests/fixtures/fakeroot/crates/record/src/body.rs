@@ -1,0 +1,3 @@
+pub enum HeapBody {
+    Put(u32),
+}

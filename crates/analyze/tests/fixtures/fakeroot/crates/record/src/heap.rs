@@ -1,0 +1,11 @@
+pub fn redo(b: &HeapBody) {
+    match b {
+        HeapBody::Put(_) => {}
+    }
+}
+
+pub fn undo(b: &HeapBody) {
+    match b {
+        HeapBody::Put(_) => {}
+    }
+}

@@ -1,0 +1,6 @@
+pub fn restart(kind: RecordKind) {
+    match kind {
+        RecordKind::Update => {}
+        RecordKind::Commit => {}
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture for the panic audit: line 4 is an engine-path unwrap; the unwrap
+// inside the #[cfg(test)] module must not be flagged.
+pub fn engine_path(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_path() {
+        assert_eq!(super::engine_path(Some(1)), 1);
+        None::<u32>.unwrap();
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture for no-wait-under-latch: the blocking request on line 5 runs while
+// the guard from line 4 is live; the one on line 11 runs after release.
+fn waits_under_latch(&self) -> Result<()> {
+    let leaf = self.pool.fix_s(pid)?; // latch-rank: 2
+    self.locks.request(txn, name, mode, dur, false)?;
+    Ok(())
+}
+fn releases_first(&self) -> Result<()> {
+    let leaf = self.pool.fix_s(pid)?; // latch-rank: 2
+    drop(leaf);
+    self.locks.request(txn, name, mode, dur, false)?;
+    Ok(())
+}
+fn conditional_is_fine(&self) -> Result<()> {
+    let leaf = self.pool.fix_s(pid)?; // latch-rank: 2
+    self.locks.request(txn, name, mode, dur, true)?;
+    Ok(())
+}

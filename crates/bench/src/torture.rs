@@ -98,6 +98,14 @@ pub fn standard_trace(seed: u64) -> Vec<Step> {
             kind: TxnKind::Commit,
             ops: (0..130).map(Op::Delete).collect(),
         },
+        // Refill the emptied low range: these land in the leftmost leaf,
+        // whose split — a leaf WITH a right neighbour — exercises the
+        // next-pointer rechain window (`smo.split.rechained`), which
+        // rightmost-leaf splits never do.
+        Step::Txn {
+            kind: TxnKind::Commit,
+            ops: perm(0, 130),
+        },
         Step::Txn {
             kind: TxnKind::LeaveOpen,
             ops: perm(400, 430),
@@ -410,6 +418,41 @@ fn workload_run(
         fired,
         error,
     })
+}
+
+/// Enumerate the crash points the standard workload (plus the restart of its
+/// crash image) reaches, without arming any of them. One record pass, no
+/// armed runs: this is the ground truth for `arieslint --crash-points`.
+pub fn list_points(cfg: &TortureConfig) -> Result<Vec<(String, u64)>> {
+    let _x = fault::exclusive();
+    let trace = standard_trace(cfg.seed);
+    let dir = TempDir::new("torture-list");
+    let db = prologue(dir.path())?;
+    fault::record();
+    fault::activate();
+    let mut started = Vec::new();
+    let db = drive_steps(db, &trace, &mut started)?;
+    fault::disarm();
+    let mut points: Vec<(String, u64)> = fault::recorded()
+        .into_iter()
+        .map(|(n, h)| (n.to_string(), h))
+        .collect();
+    let image = db.crash();
+    let recdir = dir.path().join("rec");
+    copy_dir(&image, &recdir)?;
+    fault::record();
+    fault::activate();
+    let db = Db::open(&recdir, db_options())?;
+    fault::disarm();
+    drop(db);
+    for (name, hits) in fault::recorded() {
+        match points.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => *h += hits,
+            None => points.push((name.to_string(), hits)),
+        }
+    }
+    points.sort();
+    Ok(points)
 }
 
 /// Full torture run. Must not be called while holding [`fault::exclusive`]

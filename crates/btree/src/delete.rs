@@ -62,7 +62,7 @@ impl BTree {
             // holding a latch, and the tree latch is a latch.
             let mut tree_s_guard = if need_tree_s {
                 need_tree_s = false;
-                Some(self.tree_s())
+                Some(self.tree_s()) // latch-rank: 1
             } else {
                 None
             };
@@ -70,11 +70,11 @@ impl BTree {
             let mut leaf = self.traverse(&search, true)?;
             // Figure 7: SM_Bit check.
             if leaf.page().sm_bit() {
-                if holding_tree_s || self.try_tree_s().is_some() {
-                    leaf.as_x().set_sm_bit(false);
+                if holding_tree_s || self.try_tree_s().is_some() { // latch-rank: 1 (conditional)
+                    leaf.as_x()?.set_sm_bit(false);
                 } else {
                     drop(leaf);
-                    self.tree_instant_s();
+                    self.tree_instant_s(); // latch-rank: 1 (fresh)
                     continue;
                 }
             }
@@ -125,7 +125,7 @@ impl BTree {
                     NextKey::Ambiguous => {
                         drop(leaf);
                         if !holding_tree_s {
-                            self.tree_instant_s();
+                            self.tree_instant_s(); // latch-rank: 1 (fresh)
                         }
                         continue;
                     }
@@ -161,7 +161,7 @@ impl BTree {
             // --- boundary key: hold the S tree latch (Figure 7) --------------
             let _hold_to_end = tree_s_guard; // keep (if any) across the delete
             if (idx == 0 || idx == n - 1) && !holding_tree_s {
-                match self.try_tree_s() {
+                match self.try_tree_s() { // latch-rank: 1 (conditional)
                     Some(g) => {
                         // Hold it across the delete below.
                         let _held = g;
@@ -217,7 +217,7 @@ impl BTree {
             index: self.index_id,
             key: key.clone(),
         };
-        let g = leaf.as_x();
+        let g = leaf.as_x()?;
         let pid = g.page_id();
         crate::apply::apply_body(g, pid, &body)?;
         let lsn = txn.with_logger(&self.log, |l| l.update(RmId::Index, pid, body.encode()));
@@ -237,7 +237,7 @@ impl BTree {
             NextKey::Eof => (self.eof_lock(), None),
             NextKey::Ambiguous => {
                 drop(leaf);
-                self.tree_instant_s();
+                self.tree_instant_s(); // latch-rank: 1 (fresh)
                 // Simplest correct behaviour: report after one retry-free
                 // lock of EOF is not possible; just re-run the delete.
                 return self.delete(txn, key);
@@ -266,11 +266,11 @@ impl BTree {
     /// Conditional-lock denials bubble out as [`DelStep::WaitLock`] — per §4
     /// no lock is waited for while the tree latch is held.
     fn delete_under_tree_x(&self, txn: &TxnHandle, key: &IndexKey) -> Result<DelStep> {
-        let _tx = self.tree_x();
+        let _tx = self.tree_x(); // latch-rank: 1
         let search = SearchKey::from_key(key);
         let path = self.descend_path(&search)?;
-        let leaf_id = *path.last().expect("path nonempty");
-        let mut g = self.pool.fix_x(leaf_id)?;
+        let leaf_id = crate::smo::path_leaf(&path)?;
+        let mut g = self.pool.fix_x(leaf_id)?; // latch-rank: 2
         // We hold the tree latch: no SMO in progress; reset stale bits.
         g.set_sm_bit(false);
         let Some(idx) = leaf_contains(&g, key)? else {

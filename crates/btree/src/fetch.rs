@@ -118,7 +118,7 @@ impl BTree {
             if next.is_null() {
                 return Ok(NextKey::Eof);
             }
-            let g = self.pool.fix_s(next)?;
+            let g = self.pool.fix_s(next)?; // latch-rank: 2
             let valid = matches!(g.page_type(), Ok(PageType::IndexLeaf))
                 && g.owner() == self.index_id.0
                 && g.level() == 0;
@@ -172,7 +172,7 @@ impl BTree {
                 NextKey::Eof => None,
                 NextKey::Ambiguous => {
                     drop(leaf);
-                    self.tree_instant_s();
+                    self.tree_instant_s(); // latch-rank: 1 (fresh)
                     continue;
                 }
             };
@@ -199,7 +199,7 @@ impl BTree {
                     drop(leaf);
                     self.locks
                         .request(txn.id, lock, LockMode::S, LockDuration::Commit, false)?;
-                    let g = self.pool.fix_s(leaf_id)?;
+                    let g = self.pool.fix_s(leaf_id)?; // latch-rank: 2 (fresh)
                     if g.page_lsn() == noted {
                         // Nothing changed while we waited: answer stands.
                         // Note: `found` was dropped with its guard, so
@@ -319,7 +319,7 @@ impl BTree {
                 NextKey::Eof => None,
                 NextKey::Ambiguous => {
                     drop(leaf);
-                    self.tree_instant_s();
+                    self.tree_instant_s(); // latch-rank: 1 (fresh)
                     continue;
                 }
             };
@@ -342,7 +342,7 @@ impl BTree {
                     drop(leaf);
                     self.locks
                         .request(txn.id, lock, LockMode::S, LockDuration::Commit, false)?;
-                    let g = self.pool.fix_s(leaf_id)?;
+                    let g = self.pool.fix_s(leaf_id)?; // latch-rank: 2 (fresh)
                     if g.page_lsn() == noted {
                         // Unchanged: recompute the same answer and return it.
                         let idx2 = leaf_lower_bound(&g, &succ)?;
@@ -401,10 +401,10 @@ impl BTree {
     pub fn scan_all_unlocked(&self) -> Result<Vec<IndexKey>> {
         let mut out = Vec::new();
         // Find the leftmost leaf.
-        let mut g = self.pool.fix_s(self.root)?;
+        let mut g = self.pool.fix_s(self.root)?; // latch-rank: 2
         while g.level() > 0 {
             let child = crate::node::node_cell(&g, 0)?.child;
-            let cg = self.pool.fix_s(child)?;
+            let cg = self.pool.fix_s(child)?; // latch-rank: 2
             drop(g);
             g = cg;
         }
@@ -416,7 +416,7 @@ impl BTree {
             if next.is_null() {
                 break;
             }
-            let ng = self.pool.fix_s(next)?;
+            let ng = self.pool.fix_s(next)?; // latch-rank: 2
             drop(g);
             g = ng;
         }

@@ -90,11 +90,11 @@ impl BTree {
                 Step::NeedSplit => {
                     // Figure 8: split first, insert after, all under the X
                     // tree latch.
-                    let tree_guard = self.tree_x();
+                    let tree_guard = self.tree_x(); // latch-rank: 1
                     let leaf_id = txn.with_logger(&self.log, |logger| {
                         self.split_smo(logger, &search, key.wire_len())
                     })?;
-                    let leaf = LeafGuard::X(self.pool.fix_x(leaf_id)?);
+                    let leaf = LeafGuard::X(self.pool.fix_x(leaf_id)?); // latch-rank: 2
                     match self.insert_action(txn, leaf, key, true)? {
                         Step::Done => return Ok(()),
                         Step::Retry => {
@@ -135,20 +135,20 @@ impl BTree {
         if leaf.page().sm_bit() || leaf.page().delete_bit() {
             if under_tree_latch {
                 // We *are* the SMO serializer right now: safe to reset.
-                let g = leaf.as_x();
+                let g = leaf.as_x()?;
                 g.set_sm_bit(false);
                 g.set_delete_bit(false);
-            } else if self.try_tree_s().is_some() {
+            } else if self.try_tree_s().is_some() { // latch-rank: 1 (conditional)
                 // Instant S tree latch granted: no SMO in progress; a POSC
                 // exists. Reset the bits (an unlogged hint — see DESIGN.md).
                 self.stats.latches_tree_instant.bump();
-                let g = leaf.as_x();
+                let g = leaf.as_x()?;
                 g.set_sm_bit(false);
                 g.set_delete_bit(false);
             } else {
                 // SMO in progress: wait for it without holding latches.
                 drop(leaf);
-                self.tree_instant_s();
+                self.tree_instant_s(); // latch-rank: 1 (fresh)
                 return Ok(Step::Retry);
             }
         }
@@ -191,7 +191,7 @@ impl BTree {
                     // Holding the X tree latch, an instant S would
                     // self-deadlock; the caller drops the latch on Retry.
                     if !under_tree_latch {
-                        self.tree_instant_s();
+                        self.tree_instant_s(); // latch-rank: 1 (fresh)
                     }
                     return Ok(Step::Retry);
                 }
@@ -293,7 +293,7 @@ impl BTree {
             index: self.index_id,
             key: key.clone(),
         };
-        let g = leaf.as_x();
+        let g = leaf.as_x()?;
         let pid = g.page_id();
         crate::apply::apply_body(g, pid, &body)?;
         let lsn = txn.with_logger(&self.log, |l| l.update(RmId::Index, pid, body.encode()));

@@ -53,6 +53,7 @@ use std::sync::Arc;
 
 pub use fetch::{Cursor, FetchResult};
 pub use rmimpl::IndexRm;
+pub use traverse::{TreeSGuard, TreeXGuard};
 
 /// Which names the index manager locks (paper §2.1).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -163,7 +164,7 @@ impl BTree {
         let space = SpaceMap::new(pool.clone());
         txn.with_logger(log, |logger| {
             let root = space.allocate(logger)?;
-            let mut g = pool.fix_x(root)?;
+            let mut g = pool.fix_x(root)?; // latch-rank: 2
             g.format(root, PageType::IndexLeaf, index_id.0, 0);
             let lsn = logger.update(
                 RmId::Index,
@@ -207,8 +208,13 @@ pub const MAX_KEY_VALUE_LEN: usize = 1024;
 impl BTree {
     /// Test/experiment hook: acquire the X tree latch, simulating an SMO in
     /// progress (used by the Figure 3 scenario and the SMO ablation bench).
-    pub fn hold_tree_latch_x(&self) -> parking_lot::RwLockWriteGuard<'_, ()> {
-        self.tree_latch.write()
+    pub fn hold_tree_latch_x(&self) -> TreeXGuard<'_> {
+        ariesim_obs::lockdep::acquired(
+            ariesim_obs::lockdep::Class::TreeLatch,
+            "btree::hold_tree_latch_x",
+            true,
+        );
+        TreeXGuard(self.tree_latch.write())
     }
 
     /// Test/experiment hook: set or clear the SM_Bit / Delete_Bit on a page,
@@ -220,7 +226,7 @@ impl BTree {
         sm_bit: Option<bool>,
         delete_bit: Option<bool>,
     ) -> Result<()> {
-        let mut g = self.pool.fix_x(page)?;
+        let mut g = self.pool.fix_x(page)?; // latch-rank: 2
         if let Some(v) = sm_bit {
             g.set_sm_bit(v);
         }

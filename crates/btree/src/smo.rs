@@ -40,10 +40,10 @@ impl BTree {
     /// no ambiguity handling is needed).
     pub(crate) fn descend_path(&self, search: &SearchKey<'_>) -> Result<Vec<PageId>> {
         let mut path = vec![self.root];
-        let mut g = self.pool.fix_s(self.root)?;
+        let mut g = self.pool.fix_s(self.root)?; // latch-rank: 2
         while g.level() > 0 {
             let (_, child) = node_search(&g, search)?;
-            let cg = self.pool.fix_s(child)?;
+            let cg = self.pool.fix_s(child)?; // latch-rank: 2
             drop(g);
             g = cg;
             path.push(child);
@@ -53,7 +53,7 @@ impl BTree {
 
     /// Fix `page` exclusive, apply `body`, log it, stamp the page LSN.
     fn smo_action(&self, logger: &mut ChainLogger<'_>, page: PageId, body: IndexBody) -> Result<()> {
-        let mut g = self.pool.fix_x(page)?;
+        let mut g = self.pool.fix_x(page)?; // latch-rank: 2
         apply_body(&mut g, page, &body)?;
         let lsn = logger.update(RmId::Index, page, body.encode());
         g.record_update(lsn);
@@ -64,12 +64,12 @@ impl BTree {
     /// the root becomes a nonleaf one level higher whose only child is it.
     /// Returns the new child holding the old content.
     fn root_grow(&self, logger: &mut ChainLogger<'_>) -> Result<PageId> {
-        let mut g = self.pool.fix_x(self.root)?;
+        let mut g = self.pool.fix_x(self.root)?; // latch-rank: 2
         let cells = raw_cells(&g)?;
         let level = g.level();
         let child = self.space.allocate(logger)?;
         {
-            let mut cg = self.pool.fix_x(child)?;
+            let mut cg = self.pool.fix_x(child)?; // latch-rank: 2
             let body = IndexBody::PageFormat {
                 index: self.index_id,
                 level,
@@ -109,7 +109,7 @@ impl BTree {
             idx = 1;
         }
         let target = path[idx];
-        let mut g = self.pool.fix_x(target)?;
+        let mut g = self.pool.fix_x(target)?; // latch-rank: 2
         let cells = raw_cells(&g)?;
         if cells.len() < 2 {
             return Err(Error::Internal(format!(
@@ -146,7 +146,7 @@ impl BTree {
         let new_page = self.space.allocate(logger)?;
         crash_point!("smo.split.allocated");
         {
-            let mut ng = self.pool.fix_x(new_page)?;
+            let mut ng = self.pool.fix_x(new_page)?; // latch-rank: 2
             let body = IndexBody::PageFormat {
                 index: self.index_id,
                 level,
@@ -207,7 +207,7 @@ impl BTree {
     ) -> Result<()> {
         loop {
             let pa = path[idx];
-            let mut g = self.pool.fix_x(pa)?;
+            let mut g = self.pool.fix_x(pa)?; // latch-rank: 2
             let slot = node_find_child(&g, left)?;
             // Worst-case growth: the replaced cell grows by sep's bytes and
             // one new cell (≈ the old cell's size) plus a slot is added.
@@ -231,7 +231,7 @@ impl BTree {
             // then figure out which half now parents `left`.
             let sibling = self.split_one(logger, path, idx)?;
             let pa = path[idx];
-            let g = self.pool.fix_s(pa)?;
+            let g = self.pool.fix_s(pa)?; // latch-rank: 2 (fresh)
             let in_left = node_find_child(&g, left).is_ok();
             drop(g);
             if !in_left {
@@ -268,9 +268,9 @@ impl BTree {
     ) -> Result<PageId> {
         let token = logger.last_lsn;
         let mut path = self.descend_path(search)?;
-        let leaf = *path.last().expect("path nonempty");
+        let leaf = path_leaf(&path)?;
         {
-            let g = self.pool.fix_s(leaf)?;
+            let g = self.pool.fix_s(leaf)?; // latch-rank: 2
             if g.total_free() >= need + SLOT_LEN {
                 return Ok(leaf); // someone already made room
             }
@@ -284,7 +284,7 @@ impl BTree {
         // half now covers it (we still hold the tree latch, so this is
         // cheap and race-free).
         let path2 = self.descend_path(search)?;
-        Ok(*path2.last().expect("path nonempty"))
+        path_leaf(&path2)
     }
 
     /// Figure 8/10: the page-deletion SMO. Caller holds the X tree latch and
@@ -320,7 +320,7 @@ impl BTree {
             if victim_idx == 0 {
                 // The root is never freed. If it is an empty nonleaf (its
                 // last child was just deleted), collapse it to an empty leaf.
-                let mut g = self.pool.fix_x(self.root)?;
+                let mut g = self.pool.fix_x(self.root)?; // latch-rank: 2
                 if g.level() > 0 && g.slot_count() == 0 {
                     let body = IndexBody::RootCollapse {
                         index: self.index_id,
@@ -335,7 +335,7 @@ impl BTree {
                 break;
             }
             let (prev, next, level, empty) = {
-                let g = self.pool.fix_s(victim)?;
+                let g = self.pool.fix_s(victim)?; // latch-rank: 2
                 (g.prev(), g.next(), g.level(), g.slot_count() == 0)
             };
             if !empty {
@@ -368,7 +368,7 @@ impl BTree {
             // Remove the parent's separator for the victim.
             let pa = path[victim_idx - 1];
             let pa_empty = {
-                let mut g = self.pool.fix_x(pa)?;
+                let mut g = self.pool.fix_x(pa)?; // latch-rank: 2
                 let slot = node_find_child(&g, victim)?;
                 let cell = node_cell(&g, slot)?;
                 let dropped_high = if cell.high_key.is_none() && slot > 0 {
@@ -391,7 +391,7 @@ impl BTree {
             crash_point!("smo.delete.sep_removed");
             // Free the victim page.
             {
-                let mut g = self.pool.fix_x(victim)?;
+                let mut g = self.pool.fix_x(victim)?; // latch-rank: 2
                 let body = IndexBody::FreePage {
                     index: self.index_id,
                     level,
@@ -420,4 +420,13 @@ impl BTree {
         }
         Ok(())
     }
+}
+
+/// Last page id of a descent path. `descend_path` always records at least
+/// the root, so an empty path means a logic error upstream; surface it as a
+/// recoverable error rather than a panic.
+pub(crate) fn path_leaf(path: &[PageId]) -> Result<PageId> {
+    path.last()
+        .copied()
+        .ok_or_else(|| Error::Internal("descend_path returned an empty path".into()))
 }

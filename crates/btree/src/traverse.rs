@@ -23,9 +23,27 @@ use crate::BTree;
 use ariesim_common::key::SearchKey;
 use ariesim_common::page::PageType;
 use ariesim_common::stats::Bump;
-use ariesim_common::{Lsn, PageBuf, PageId, Result};
-use ariesim_obs::{EventKind, ModeTag};
+use ariesim_common::{Error, Lsn, PageBuf, PageId, Result};
+use ariesim_obs::{lockdep, EventKind, ModeTag};
 use ariesim_storage::{PageReadGuard, PageWriteGuard};
+
+/// S-mode tree-latch guard; reports its release to the lockdep graph.
+pub struct TreeSGuard<'a>(#[allow(dead_code)] pub(crate) parking_lot::RwLockReadGuard<'a, ()>);
+
+impl Drop for TreeSGuard<'_> {
+    fn drop(&mut self) {
+        lockdep::released(lockdep::Class::TreeLatch);
+    }
+}
+
+/// X-mode tree-latch guard; reports its release to the lockdep graph.
+pub struct TreeXGuard<'a>(#[allow(dead_code)] pub(crate) parking_lot::RwLockWriteGuard<'a, ()>);
+
+impl Drop for TreeXGuard<'_> {
+    fn drop(&mut self) {
+        lockdep::released(lockdep::Class::TreeLatch);
+    }
+}
 
 /// The latched leaf a traversal ends at: S for fetches, X for modifications
 /// (Figure 4's final step).
@@ -50,10 +68,12 @@ impl LeafGuard {
         self.page().page_lsn()
     }
 
-    pub fn as_x(&mut self) -> &mut PageWriteGuard {
+    pub fn as_x(&mut self) -> Result<&mut PageWriteGuard> {
         match self {
-            LeafGuard::X(g) => g,
-            LeafGuard::S(_) => panic!("leaf latched S, X required"),
+            LeafGuard::X(g) => Ok(g),
+            LeafGuard::S(_) => Err(Error::Internal(
+                "leaf latched S where X is required".into(),
+            )),
         }
     }
 }
@@ -90,53 +110,59 @@ impl BTree {
         self.stats.latches_tree_instant.bump();
         self.obs
             .event(EventKind::TreeLatchAcquire, ModeTag::Instant, 0, 0, 0);
+        lockdep::acquired(lockdep::Class::TreeLatch, "btree::tree_instant_s", true);
         if let Some(g) = self.tree_latch.try_read_recursive() {
             drop(g);
+            lockdep::released(lockdep::Class::TreeLatch);
             return;
         }
         self.stats.latch_tree_waits.bump();
         let wait = self.obs.timer();
         drop(self.tree_latch.read_recursive());
+        lockdep::released(lockdep::Class::TreeLatch);
         self.obs.hist.latch_wait_tree.record_since(wait);
     }
 
     /// Conditional S tree latch (used by boundary-key deletes, Figure 7).
-    pub(crate) fn try_tree_s(&self) -> Option<parking_lot::RwLockReadGuard<'_, ()>> {
+    pub(crate) fn try_tree_s(&self) -> Option<TreeSGuard<'_>> {
         let g = self.tree_latch.try_read_recursive();
         if g.is_some() {
             self.stats.latches_tree.bump();
+            lockdep::acquired(lockdep::Class::TreeLatch, "btree::try_tree_s", false);
         }
-        g
+        g.map(TreeSGuard)
     }
 
     /// Unconditional S tree latch.
-    pub(crate) fn tree_s(&self) -> parking_lot::RwLockReadGuard<'_, ()> {
+    pub(crate) fn tree_s(&self) -> TreeSGuard<'_> {
         self.stats.latches_tree.bump();
         self.obs
             .event(EventKind::TreeLatchAcquire, ModeTag::S, 0, 0, 0);
+        lockdep::acquired(lockdep::Class::TreeLatch, "btree::tree_s", true);
         if let Some(g) = self.tree_latch.try_read_recursive() {
-            return g;
+            return TreeSGuard(g);
         }
         self.stats.latch_tree_waits.bump();
         let wait = self.obs.timer();
         let g = self.tree_latch.read_recursive();
         self.obs.hist.latch_wait_tree.record_since(wait);
-        g
+        TreeSGuard(g)
     }
 
     /// X tree latch: serializes SMOs on this index.
-    pub(crate) fn tree_x(&self) -> parking_lot::RwLockWriteGuard<'_, ()> {
+    pub(crate) fn tree_x(&self) -> TreeXGuard<'_> {
         self.stats.latches_tree.bump();
         self.obs
             .event(EventKind::TreeLatchAcquire, ModeTag::X, 0, 0, 0);
+        lockdep::acquired(lockdep::Class::TreeLatch, "btree::tree_x", true);
         if let Some(g) = self.tree_latch.try_write() {
-            return g;
+            return TreeXGuard(g);
         }
         self.stats.latch_tree_waits.bump();
         let wait = self.obs.timer();
         let g = self.tree_latch.write();
         self.obs.hist.latch_wait_tree.record_since(wait);
-        g
+        TreeXGuard(g)
     }
 
     // --- Figure 4 ---------------------------------------------------------
@@ -149,13 +175,13 @@ impl BTree {
             // Latch the root; upgrade to X if it is itself the leaf we must
             // modify. (The root's identity is fixed, but its *level* can
             // change under an SMO, hence the re-checks.)
-            let root_guard = self.pool.fix_s(self.root)?;
+            let root_guard = self.pool.fix_s(self.root)?; // latch-rank: 2
             let mut parent: PageReadGuard = if root_guard.level() == 0 {
                 if !for_update {
                     return Ok(LeafGuard::S(root_guard));
                 }
                 drop(root_guard);
-                let gx = self.pool.fix_x(self.root)?;
+                let gx = self.pool.fix_x(self.root)?; // latch-rank: 2 (fresh)
                 if gx.level() == 0 {
                     return Ok(LeafGuard::X(gx));
                 }
@@ -198,8 +224,8 @@ impl BTree {
                         0,
                     );
                     {
-                        let _t = self.tree_s();
-                        let mut g = self.pool.fix_x(ambiguous_page)?;
+                        let _t = self.tree_s(); // latch-rank: 1 (fresh)
+                        let mut g = self.pool.fix_x(ambiguous_page)?; // latch-rank: 2
                         if g.sm_bit()
                             && g.owner() == self.index_id.0
                             && matches!(g.page_type(), Ok(PageType::IndexNonLeaf))
@@ -216,26 +242,26 @@ impl BTree {
                 let (_slot, child_id) = node_search(&parent, search)?;
                 let child_level = level - 1;
                 if child_level == 0 && for_update {
-                    let child = self.pool.fix_x(child_id)?;
+                    let child = self.pool.fix_x(child_id)?; // latch-rank: 2
                     drop(parent);
                     if !valid_page(&child, self, 0) {
                         drop(child);
                         self.stats.traversal_restarts.bump();
                         self.obs
                             .event(EventKind::TraversalRestart, ModeTag::None, 0, child_id.0, 0);
-                        self.tree_instant_s();
+                        self.tree_instant_s(); // latch-rank: 1 (fresh)
                         continue 'restart;
                     }
                     return Ok(LeafGuard::X(child));
                 }
-                let child = self.pool.fix_s(child_id)?;
+                let child = self.pool.fix_s(child_id)?; // latch-rank: 2
                 drop(parent);
                 if !valid_page(&child, self, child_level) {
                     drop(child);
                     self.stats.traversal_restarts.bump();
                     self.obs
                         .event(EventKind::TraversalRestart, ModeTag::None, 0, child_id.0, 0);
-                    self.tree_instant_s();
+                    self.tree_instant_s(); // latch-rank: 1 (fresh)
                     continue 'restart;
                 }
                 if child_level == 0 {

@@ -131,20 +131,29 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Bounds-checked fixed-size read: the length check lives in [`take`], so
+    /// the array conversion cannot fail and no `unwrap` is needed.
+    fn take_n<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
     pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
     pub fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_n()?))
     }
 
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_n()?))
     }
 
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_n()?))
     }
 
     pub fn lsn(&mut self) -> Result<Lsn> {
@@ -184,6 +193,31 @@ impl<'a> Reader<'a> {
         self.pos = self.buf.len();
         s
     }
+}
+
+/// Copy `N` little-endian bytes at `off` into an array. Indexing panics on an
+/// out-of-range offset exactly like a slice would — the point is that the
+/// array conversion itself is infallible, so callers reading fixed header
+/// offsets need no `unwrap`/`expect` on the parse.
+fn le_at<const N: usize>(b: &[u8], off: usize) -> [u8; N] {
+    let mut a = [0u8; N];
+    a.copy_from_slice(&b[off..off + N]);
+    a
+}
+
+/// `u16` at a fixed offset (page headers, frame headers).
+pub fn u16_at(b: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(le_at(b, off))
+}
+
+/// `u32` at a fixed offset.
+pub fn u32_at(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(le_at(b, off))
+}
+
+/// `u64` at a fixed offset.
+pub fn u64_at(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(le_at(b, off))
 }
 
 /// CRC-32 (Castagnoli polynomial, bitwise) used to frame log records so that

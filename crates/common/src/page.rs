@@ -111,7 +111,7 @@ impl PageBuf {
     /// All-zero page (page_lsn NULL, type byte 0 = invalid until formatted).
     pub fn zeroed() -> PageBuf {
         PageBuf {
-            bytes: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+            bytes: Box::new([0u8; PAGE_SIZE]),
         }
     }
 
@@ -155,7 +155,7 @@ impl PageBuf {
 
     #[inline]
     pub(crate) fn get_u16(&self, off: usize) -> u16 {
-        u16::from_le_bytes(self.bytes[off..off + 2].try_into().unwrap())
+        crate::codec::u16_at(&self.bytes[..], off)
     }
 
     #[inline]
@@ -165,7 +165,7 @@ impl PageBuf {
 
     #[inline]
     fn get_u32(&self, off: usize) -> u32 {
-        u32::from_le_bytes(self.bytes[off..off + 4].try_into().unwrap())
+        crate::codec::u32_at(&self.bytes[..], off)
     }
 
     #[inline]
@@ -176,9 +176,7 @@ impl PageBuf {
     // --- header fields -----------------------------------------------------
 
     pub fn page_lsn(&self) -> Lsn {
-        Lsn(u64::from_le_bytes(
-            self.bytes[OFF_LSN..OFF_LSN + 8].try_into().unwrap(),
-        ))
+        Lsn(crate::codec::u64_at(&self.bytes[..], OFF_LSN))
     }
 
     pub fn set_page_lsn(&mut self, lsn: Lsn) {

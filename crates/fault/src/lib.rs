@@ -76,6 +76,11 @@ enum Mode {
 
 struct PointState {
     name: &'static str,
+    /// Source location of the `crash_point!` invocation — two invocations
+    /// sharing a name would make torture enumeration silently skip one of
+    /// them, so a second location for a known name is a hard error.
+    file: &'static str,
+    line: u32,
     hits: u64,
 }
 
@@ -105,7 +110,9 @@ static TEST_LOCK: Mutex<()> = Mutex::new(());
 macro_rules! crash_point {
     ($name:expr) => {
         if $crate::active() {
-            $crate::hit($name);
+            // file!()/line!() expand at the *invocation* site, letting the
+            // registry detect two distinct hooks sharing one name.
+            $crate::hit_at($name, file!(), line!());
         }
     };
 }
@@ -197,7 +204,11 @@ pub fn recorded() -> Vec<(&'static str, u64)> {
 
 /// A [`crash_point!`] was reached while active. Not meant to be called
 /// directly.
-pub fn hit(name: &'static str) {
+///
+/// Panics (a plain panic, not a [`CrashSignal`]) when `name` was first
+/// registered at a different source location: duplicate crash-point names
+/// would alias in every harness that enumerates points by name.
+pub fn hit_at(name: &'static str, file: &'static str, line: u32) {
     let mut g = STATE.lock();
     if matches!(g.mode, Mode::Disarmed) {
         return;
@@ -207,11 +218,24 @@ pub fn hit(name: &'static str) {
     }
     let n = match g.points.iter_mut().find(|p| p.name == name) {
         Some(p) => {
+            if p.file != file || p.line != line {
+                let (f0, l0) = (p.file, p.line);
+                drop(g);
+                panic!(
+                    "duplicate crash point {name:?}: registered at {f0}:{l0}, \
+                     hit again from {file}:{line}"
+                );
+            }
             p.hits += 1;
             p.hits
         }
         None => {
-            g.points.push(PointState { name, hits: 1 });
+            g.points.push(PointState {
+                name,
+                file,
+                line,
+                hits: 1,
+            });
             1
         }
     };
@@ -382,6 +406,23 @@ mod tests {
         assert!(flag.load(Ordering::SeqCst), "hook must run before unwind");
         clear_pre_crash_hook();
         disarm();
+    }
+
+    #[test]
+    fn duplicate_point_name_panics() {
+        let _x = exclusive();
+        record();
+        activate();
+        crash_point!("test.dup");
+        // Same name, different invocation site: must abort the run loudly.
+        let caught = std::panic::catch_unwind(|| crash_point!("test.dup"));
+        disarm();
+        let err = caught.expect_err("duplicate registration must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("duplicate crash point"), "got: {msg}");
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::mode::{LockDuration, LockMode};
 use crate::name::LockName;
 use ariesim_common::stats::{Bump, StatsHandle};
 use ariesim_common::{Error, Result, TxnId};
+use ariesim_obs::lockdep;
 use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -98,6 +99,30 @@ pub struct LockManager {
     obs: ObsHandle,
 }
 
+/// Lock-table guard that reports its acquisition/release to the lockdep
+/// graph (class [`lockdep::Class::LockTable`]).
+struct StateGuard<'a>(parking_lot::MutexGuard<'a, State>);
+
+impl std::ops::Deref for StateGuard<'_> {
+    type Target = State;
+
+    fn deref(&self) -> &State {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for StateGuard<'_> {
+    fn deref_mut(&mut self) -> &mut State {
+        &mut self.0
+    }
+}
+
+impl Drop for StateGuard<'_> {
+    fn drop(&mut self) {
+        lockdep::released(lockdep::Class::LockTable);
+    }
+}
+
 /// Stable tag for a lock name in trace events (names don't fit in a u64).
 fn name_tag(name: &LockName) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -125,6 +150,11 @@ impl LockManager {
         }
     }
 
+    fn lock_state(&self, site: &'static str) -> StateGuard<'_> {
+        lockdep::acquired(lockdep::Class::LockTable, site, true);
+        StateGuard(self.state.lock())
+    }
+
     /// Request `name` in `mode` for `duration` on behalf of `txn`.
     ///
     /// `conditional` requests never wait: they return
@@ -140,7 +170,7 @@ impl LockManager {
     ) -> Result<()> {
         let cell;
         {
-            let mut st = self.state.lock();
+            let mut st = self.lock_state("lock::manager::request");
             let head = st.heads.entry(name.clone()).or_default();
 
             if let Some(gi) = head.find_granted(txn) {
@@ -187,8 +217,11 @@ impl LockManager {
             }
         }
         // Wait outside the table mutex. Blocking here while holding a page
-        // latch would violate the §2.2 protocol — the monitor checks.
+        // latch would violate the §2.2 protocol — the monitor checks, and
+        // lockdep records a latch-class → LockWait edge that arieslint
+        // rejects.
         self.obs.monitor.on_unconditional_lock_wait();
+        lockdep::acquired(lockdep::Class::LockWait, "lock::manager::wait", true);
         self.obs
             .event(EventKind::LockWait, mode_tag(mode), txn.0, 0, name_tag(&name));
         let wait_timer = self.obs.timer();
@@ -200,11 +233,15 @@ impl LockManager {
                 .wait_for(&mut s, WAIT_WEDGE_TIMEOUT)
                 .timed_out()
             {
+                drop(s);
+                lockdep::released(lockdep::Class::LockWait);
                 return Err(Error::Internal(format!(
                     "lock wait wedged: {txn} waiting for {name:?} in {mode:?}"
                 )));
             }
         }
+        drop(s);
+        lockdep::released(lockdep::Class::LockWait);
         self.obs.hist.lock_wait.record_since(wait_timer);
         self.note_grant(txn, &name, mode, duration);
         Ok(())
@@ -421,7 +458,7 @@ impl LockManager {
 
     /// Release one manual lock.
     pub fn release(&self, txn: TxnId, name: &LockName) {
-        let mut st = self.state.lock();
+        let mut st = self.lock_state("lock::manager::release");
         if let Some(head) = st.heads.get_mut(name) {
             if let Some(gi) = head.find_granted(txn) {
                 head.granted.remove(gi);
@@ -435,7 +472,7 @@ impl LockManager {
 
     /// Release every lock held by `txn` (commit or rollback completion).
     pub fn release_all(&self, txn: TxnId) {
-        let mut st = self.state.lock();
+        let mut st = self.lock_state("lock::manager::release_all");
         let names: Vec<LockName> = st
             .txn_locks
             .remove(&txn)
@@ -453,7 +490,7 @@ impl LockManager {
 
     /// Mode in which `txn` currently holds `name`, if any. For assertions.
     pub fn holds(&self, txn: TxnId, name: &LockName) -> Option<LockMode> {
-        let st = self.state.lock();
+        let st = self.lock_state("lock::manager::holds");
         st.heads
             .get(name)?
             .granted
@@ -464,7 +501,7 @@ impl LockManager {
 
     /// Duration recorded for `txn`'s grant on `name`, if any. For assertions.
     pub fn holds_duration(&self, txn: TxnId, name: &LockName) -> Option<LockDuration> {
-        let st = self.state.lock();
+        let st = self.lock_state("lock::manager::holds_duration");
         st.heads
             .get(name)?
             .granted
@@ -475,13 +512,13 @@ impl LockManager {
 
     /// Number of recorded grants held by `txn`. For assertions.
     pub fn held_count(&self, txn: TxnId) -> usize {
-        let st = self.state.lock();
+        let st = self.lock_state("lock::manager::held_count");
         st.txn_locks.get(&txn).map_or(0, |s| s.len())
     }
 
     /// True if any transaction is queued anywhere. For assertions.
     pub fn has_waiters(&self) -> bool {
-        let st = self.state.lock();
+        let st = self.lock_state("lock::manager::has_waiters");
         st.heads.values().any(|h| !h.queue.is_empty())
     }
 }

@@ -36,13 +36,11 @@ impl LockMode {
     pub fn sup(self, other: LockMode) -> LockMode {
         use LockMode::*;
         match (self, other) {
-            (a, b) if a == b => a,
-            (IS, m) | (m, IS) => m,
-            (IX, S) | (S, IX) => SIX,
-            (IX, SIX) | (SIX, IX) => SIX,
-            (S, SIX) | (SIX, S) => SIX,
             (X, _) | (_, X) => X,
-            (IX, IX) | (S, S) | (SIX, SIX) => unreachable!(),
+            (IS, m) | (m, IS) => m,
+            (IX, IX) => IX,
+            (S, S) => S,
+            (IX, S) | (S, IX) | (SIX, _) | (_, SIX) => SIX,
         }
     }
 

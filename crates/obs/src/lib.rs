@@ -20,6 +20,7 @@
 
 pub mod hist;
 pub mod json;
+pub mod lockdep;
 pub mod monitor;
 pub mod trace;
 

@@ -1,0 +1,257 @@
+//! Lockdep-style acquisition-order graph (debug builds only).
+//!
+//! Every blocking acquisition of a tracked resource class records one edge
+//! per *distinct* class currently held by the acquiring thread:
+//! `held-class → acquired-class`, attributed to the acquisition site. Trylock
+//! (conditional) acquisitions cannot make a thread wait, so they join the
+//! held set but record no edges — exactly the Linux lockdep rule.
+//!
+//! The graph is process-global (edges merged across threads; the held set is
+//! per-thread), dumped as JSONL by [`dump_jsonl`], and checked offline by
+//! `arieslint --lockdep`: a cycle among *distinct* classes, an edge against
+//! the class rank order, a latch-class edge into [`Class::LockWait`], or a
+//! page-latch chain deeper than 2 is a CI failure. The `PageLatch →
+//! PageLatch` self-edge is expected (latch coupling walks parent → child and
+//! leaf → next leaf); it is certified by the chain-depth bound instead of
+//! the cycle check.
+//!
+//! All entry points compile to a branch-on-constant no-op when
+//! `debug_assertions` are off, so release benchmarks pay nothing.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Resource classes ordered by acquisition rank. The rank order *is* the
+/// paper's §4 latch protocol: the tree latch is taken before any page latch,
+/// page latches before pool/lock-table internals, and a lock wait only with
+/// nothing else held.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Class {
+    /// The index-wide SMO tree latch (`btree::traverse` helpers).
+    TreeLatch,
+    /// A buffer-pool page latch (`storage::pool::fix_*`).
+    PageLatch,
+    /// The buffer pool's internal frame-table mutex.
+    PoolMutex,
+    /// The lock manager's hash-table mutex.
+    LockTable,
+    /// An unconditional lock wait (`lock::manager::request` park).
+    LockWait,
+}
+
+impl Class {
+    /// Acquisition rank; a blocking edge must never go from a higher rank to
+    /// a strictly lower one. `PoolMutex` and `LockTable` share a rank — they
+    /// are leaf mutexes that are never held across each other.
+    pub fn rank(self) -> u8 {
+        match self {
+            Class::TreeLatch => 1,
+            Class::PageLatch => 2,
+            Class::PoolMutex => 3,
+            Class::LockTable => 3,
+            Class::LockWait => 4,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::TreeLatch => "TreeLatch",
+            Class::PageLatch => "PageLatch",
+            Class::PoolMutex => "PoolMutex",
+            Class::LockTable => "LockTable",
+            Class::LockWait => "LockWait",
+        }
+    }
+}
+
+#[derive(Default)]
+struct Graph {
+    /// (held, acquired, acquisition site) → observation count.
+    edges: HashMap<(Class, Class, &'static str), u64>,
+}
+
+fn graph() -> &'static Mutex<Graph> {
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| Mutex::new(Graph::default()))
+}
+
+static ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
+static MAX_PAGE_CHAIN: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static HELD: RefCell<Vec<Class>> = const { RefCell::new(Vec::new()) };
+}
+
+#[inline]
+fn active() -> bool {
+    cfg!(debug_assertions)
+}
+
+/// Record an acquisition of `class` at `site`. `blocking` is false for
+/// conditional (trylock) acquisitions that succeeded — they join the held
+/// set but contribute no ordering edges.
+pub fn acquired(class: Class, site: &'static str, blocking: bool) {
+    if !active() {
+        return;
+    }
+    ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if blocking && !held.is_empty() {
+            let mut seen: Vec<Class> = Vec::with_capacity(held.len());
+            for &hc in held.iter() {
+                if !seen.contains(&hc) {
+                    seen.push(hc);
+                }
+            }
+            let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+            for hc in seen {
+                *g.edges.entry((hc, class, site)).or_insert(0) += 1;
+            }
+        }
+        held.push(class);
+        if class == Class::PageLatch {
+            let chain = held.iter().filter(|&&c| c == Class::PageLatch).count() as u64;
+            MAX_PAGE_CHAIN.fetch_max(chain, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Record the release of the most recently acquired instance of `class`.
+pub fn released(class: Class) {
+    if !active() {
+        return;
+    }
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&c| c == class) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Number of distinct (held, acquired, site) edges observed so far.
+pub fn edge_count() -> usize {
+    if !active() {
+        return 0;
+    }
+    graph().lock().unwrap_or_else(|e| e.into_inner()).edges.len()
+}
+
+/// Deepest simultaneous page-latch chain seen on any one thread.
+pub fn max_page_latch_chain() -> u64 {
+    MAX_PAGE_CHAIN.load(Ordering::Relaxed)
+}
+
+/// Forget all recorded edges and counters (test isolation). Per-thread held
+/// sets are left alone — they are empty whenever no guard is live.
+pub fn reset() {
+    if !active() {
+        return;
+    }
+    graph().lock().unwrap_or_else(|e| e.into_inner()).edges.clear();
+    ACQUISITIONS.store(0, Ordering::Relaxed);
+    MAX_PAGE_CHAIN.store(0, Ordering::Relaxed);
+}
+
+/// Dump the graph as JSONL: one `edge` object per line, then one `summary`
+/// line. This is the input format of `arieslint --lockdep`.
+pub fn dump_jsonl() -> String {
+    let mut out = String::new();
+    let edges = {
+        let g = graph().lock().unwrap_or_else(|e| e.into_inner());
+        let mut v: Vec<_> = g
+            .edges
+            .iter()
+            .map(|(&(held, acq, site), &count)| (held, acq, site, count))
+            .collect();
+        v.sort_by_key(|&(h, a, site, _)| (h.name(), a.name(), site));
+        v
+    };
+    for (held, acq, site, count) in &edges {
+        out.push_str(&format!(
+            "{{\"type\":\"edge\",\"held\":\"{}\",\"acquired\":\"{}\",\"site\":\"{}\",\"count\":{}}}\n",
+            held.name(),
+            acq.name(),
+            site,
+            count
+        ));
+    }
+    out.push_str(&format!(
+        "{{\"type\":\"summary\",\"edges\":{},\"acquisitions\":{},\"max_page_latch_chain\":{}}}\n",
+        edges.len(),
+        ACQUISITIONS.load(Ordering::Relaxed),
+        MAX_PAGE_CHAIN.load(Ordering::Relaxed)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The graph is process-global, so tests in this module serialize
+    // themselves and reset() first.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn blocking_acquisition_records_edges_per_distinct_held_class() {
+        let _s = serial();
+        reset();
+        acquired(Class::TreeLatch, "t", true);
+        acquired(Class::PageLatch, "p1", true); // Tree → Page
+        acquired(Class::PageLatch, "p2", true); // Tree → Page, Page → Page
+        released(Class::PageLatch);
+        released(Class::PageLatch);
+        released(Class::TreeLatch);
+        let dump = dump_jsonl();
+        assert!(dump.contains("\"held\":\"TreeLatch\",\"acquired\":\"PageLatch\""));
+        assert!(dump.contains("\"held\":\"PageLatch\",\"acquired\":\"PageLatch\""));
+        assert_eq!(max_page_latch_chain(), 2);
+        // Three sites, but Tree→Page appears under two of them and
+        // Page→Page under one: 3 distinct (held, acquired, site) edges.
+        assert_eq!(edge_count(), 3);
+    }
+
+    #[test]
+    fn conditional_acquisition_records_no_edge() {
+        let _s = serial();
+        reset();
+        acquired(Class::PageLatch, "p", true);
+        acquired(Class::LockTable, "probe", false); // trylock: no edge
+        released(Class::LockTable);
+        released(Class::PageLatch);
+        assert_eq!(edge_count(), 0);
+    }
+
+    #[test]
+    fn release_pops_most_recent_of_class() {
+        let _s = serial();
+        reset();
+        acquired(Class::PageLatch, "a", true);
+        acquired(Class::PageLatch, "b", true);
+        released(Class::PageLatch);
+        // One page latch still held: a further acquisition keeps chain ≤ 2.
+        acquired(Class::PageLatch, "c", true);
+        released(Class::PageLatch);
+        released(Class::PageLatch);
+        assert_eq!(max_page_latch_chain(), 2);
+    }
+
+    #[test]
+    fn dump_ends_with_summary_line() {
+        let _s = serial();
+        reset();
+        acquired(Class::TreeLatch, "t", true);
+        released(Class::TreeLatch);
+        let dump = dump_jsonl();
+        let last = dump.lines().last().unwrap();
+        assert!(last.contains("\"type\":\"summary\""));
+        assert!(last.contains("\"max_page_latch_chain\":0"));
+    }
+}

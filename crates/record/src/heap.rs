@@ -132,7 +132,7 @@ impl HeapManager {
     pub fn create_file(&self, txn: &TxnHandle, table: TableId) -> Result<PageId> {
         txn.with_logger(&self.log, |logger| {
             let page = self.space.allocate(logger)?;
-            let mut g = self.pool.fix_x(page)?;
+            let mut g = self.pool.fix_x(page)?; // latch-rank: 2
             g.format(page, PageType::Heap, table.0, 0);
             let lsn = logger.update(RmId::Heap, page, HeapBody::Format { table }.encode());
             g.record_update(lsn);
@@ -152,7 +152,7 @@ impl HeapManager {
     ) -> Result<Rid> {
         let mut page = first_page;
         loop {
-            let mut g = self.pool.fix_x(page)?;
+            let mut g = self.pool.fix_x(page)?; // latch-rank: 2
             let reserved = self.resv.lock().reserved(page);
             if g.total_free() >= data.len() + SLOT_LEN + reserved {
                 // Choose a slot whose RID we can lock: a dead slot may carry a
@@ -259,7 +259,7 @@ impl HeapManager {
         let new_page = txn.with_logger(&self.log, |logger| -> Result<PageId> {
             let new_page = self.space.allocate(logger)?;
             {
-                let mut ng = self.pool.fix_x(new_page)?;
+                let mut ng = self.pool.fix_x(new_page)?; // latch-rank: 2
                 ng.format(new_page, PageType::Heap, table.0, 0);
                 let lsn = logger.update(RmId::Heap, new_page, HeapBody::Format { table }.encode());
                 ng.record_update(lsn);
@@ -293,7 +293,7 @@ impl HeapManager {
             LockDuration::Commit,
             false,
         )?;
-        let mut g = self.pool.fix_x(rid.page)?;
+        let mut g = self.pool.fix_x(rid.page)?; // latch-rank: 2
         let data = g.free_cell(rid.slot).map_err(|_| Error::BadRid { rid })?;
         let lsn = txn.with_logger(&self.log, |l| {
             l.update(
@@ -328,7 +328,7 @@ impl HeapManager {
                 false,
             )?;
         }
-        let g = self.pool.fix_s(rid.page)?;
+        let g = self.pool.fix_s(rid.page)?; // latch-rank: 2
         g.cell(rid.slot.0)
             .map(|c| c.to_vec())
             .ok_or(Error::BadRid { rid })
@@ -344,7 +344,7 @@ impl HeapManager {
             LockDuration::Commit,
             false,
         )?;
-        let mut g = self.pool.fix_x(rid.page)?;
+        let mut g = self.pool.fix_x(rid.page)?; // latch-rank: 2
         let old = g.cell(rid.slot.0).ok_or(Error::BadRid { rid })?.to_vec();
         let reserved = self.resv.lock().reserved(rid.page);
         if new.len() > old.len() && g.total_free() + old.len() < new.len() + reserved {
@@ -378,7 +378,7 @@ impl HeapManager {
         let mut out = Vec::new();
         let mut page = first_page;
         while !page.is_null() {
-            let g = self.pool.fix_s(page)?;
+            let g = self.pool.fix_s(page)?; // latch-rank: 2
             for i in 0..g.slot_count() {
                 if let Some(c) = g.cell(i) {
                     out.push((
@@ -424,7 +424,7 @@ impl ResourceManager for HeapManager {
     fn undo(&self, logger: &mut ChainLogger<'_>, rec: &LogRecord) -> Result<()> {
         // Heap undo is always page-oriented: RIDs are stable, and
         // reservations guarantee re-insert space.
-        let mut g = self.pool.fix_x(rec.page)?;
+        let mut g = self.pool.fix_x(rec.page)?; // latch-rank: 2
         let clr_body = match HeapBody::decode(&rec.body)? {
             HeapBody::Insert { table, slot, data } => {
                 g.free_cell(slot)?;

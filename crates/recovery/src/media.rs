@@ -35,7 +35,7 @@ impl ImageCopy {
         let start_lsn = log.next_lsn();
         let mut map = HashMap::with_capacity(pages.len());
         for &p in pages {
-            let g = pool.fix_s(p)?;
+            let g = pool.fix_s(p)?; // latch-rank: 2
             map.insert(p, PageBuf::from_bytes(g.as_bytes().as_slice())?);
         }
         Ok(ImageCopy {
@@ -93,7 +93,7 @@ impl ImageCopy {
         stats: &StatsHandle,
     ) -> Result<()> {
         let img = self.recover_page(log, rms, page, stats)?;
-        let mut g = pool.fix_x(page)?;
+        let mut g = pool.fix_x(page)?; // latch-rank: 2
         let lsn = img.page_lsn();
         *g.as_bytes_mut() = *img.as_bytes();
         g.record_update(lsn);

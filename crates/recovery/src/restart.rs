@@ -151,7 +151,7 @@ pub fn restart(
         if rec.lsn < rec_lsn {
             continue; // older than the page's first possibly-missing update
         }
-        let mut g = pool.fix_x(rec.page)?;
+        let mut g = pool.fix_x(rec.page)?; // latch-rank: 2
         stats.restart_page_reads.bump();
         if g.page_lsn() < rec.lsn {
             let rm = rms.get(rec.rm)?;

@@ -23,6 +23,7 @@ use crate::disk::DiskManager;
 use ariesim_common::stats::{Bump, StatsHandle};
 use ariesim_common::{Error, Lsn, PageBuf, PageId, Result};
 use ariesim_fault::crash_point;
+use ariesim_obs::lockdep;
 use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle};
 use ariesim_wal::{DptEntry, LogManager};
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
@@ -101,6 +102,31 @@ struct PoolInner {
     tick: u64,
 }
 
+/// Pool-mutex guard that reports its acquisition/release to the lockdep
+/// graph, so a pool-mutex-held-across-a-latch-wait bug shows up as an
+/// order-violating edge rather than a silent hang.
+struct InnerGuard<'a>(parking_lot::MutexGuard<'a, PoolInner>);
+
+impl std::ops::Deref for InnerGuard<'_> {
+    type Target = PoolInner;
+
+    fn deref(&self) -> &PoolInner {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for InnerGuard<'_> {
+    fn deref_mut(&mut self) -> &mut PoolInner {
+        &mut self.0
+    }
+}
+
+impl Drop for InnerGuard<'_> {
+    fn drop(&mut self) {
+        lockdep::released(lockdep::Class::PoolMutex);
+    }
+}
+
 /// The buffer pool. Use through `Arc` — page guards keep the pool alive.
 pub struct BufferPool {
     slots: Vec<Arc<RwLock<PageBuf>>>,
@@ -148,6 +174,11 @@ impl BufferPool {
 
     pub fn obs(&self) -> &ObsHandle {
         &self.obs
+    }
+
+    fn lock_inner(&self, site: &'static str) -> InnerGuard<'_> {
+        lockdep::acquired(lockdep::Class::PoolMutex, site, true);
+        InnerGuard(self.inner.lock())
     }
 
     pub fn stats(&self) -> &StatsHandle {
@@ -208,6 +239,7 @@ impl BufferPool {
                 };
                 self.stats.latches_page.bump();
                 latch_depth_inc();
+                lockdep::acquired(lockdep::Class::PageLatch, "storage::pool::fix_s", !conditional);
                 self.note_latch_acquired(page, ModeTag::S);
                 Ok(PageReadGuard {
                     latch: Some(latch),
@@ -216,6 +248,8 @@ impl BufferPool {
                 })
             }
             Claimed::Loaded(wlatch, idx) => {
+                // The latch was already acquired (and lockdep-recorded)
+                // inside `claim`, under the load I/O.
                 self.stats.latches_page.bump();
                 latch_depth_inc();
                 self.note_latch_acquired(page, ModeTag::S);
@@ -254,6 +288,7 @@ impl BufferPool {
                 };
                 self.stats.latches_page.bump();
                 latch_depth_inc();
+                lockdep::acquired(lockdep::Class::PageLatch, "storage::pool::fix_x", !conditional);
                 self.note_latch_acquired(page, ModeTag::X);
                 Ok(PageWriteGuard {
                     latch: Some(latch),
@@ -262,6 +297,7 @@ impl BufferPool {
                 })
             }
             Claimed::Loaded(wlatch, idx) => {
+                // Latch acquired (and lockdep-recorded) inside `claim`.
                 self.stats.latches_page.bump();
                 latch_depth_inc();
                 self.note_latch_acquired(page, ModeTag::X);
@@ -280,6 +316,7 @@ impl BufferPool {
     }
 
     fn note_latch_released(&self, page: u32, mode: ModeTag) {
+        lockdep::released(lockdep::Class::PageLatch);
         self.obs.monitor.on_page_latch_released(page);
         self.obs.event(EventKind::LatchRelease, mode, 0, page, 0);
     }
@@ -289,7 +326,7 @@ impl BufferPool {
     fn claim(self: &Arc<Self>, page: PageId) -> Result<Claimed> {
         debug_assert!(!page.is_null(), "fix of NULL page");
         loop {
-            let mut g = self.inner.lock();
+            let mut g = self.lock_inner("storage::pool::claim");
             if let Some(&idx) = g.table.get(&page) {
                 g.meta[idx].pins += 1;
                 g.tick += 1;
@@ -337,33 +374,44 @@ impl BufferPool {
             };
             drop(g);
             // I/O outside the pool mutex, under the frame's write latch.
+            // The latch was obtained with a trylock, so it joins the lockdep
+            // held set without an ordering edge.
+            lockdep::acquired(lockdep::Class::PageLatch, "storage::pool::claim.load", false);
             let mut latch = wlatch;
-            if old.dirty {
-                crash_point!("pool.evict.begin");
-                // WAL rule: the log must cover the page before it hits disk.
-                self.log.flush_to(latch.page_lsn())?;
-                crash_point!("pool.evict.after_force");
+            let loaded = (|| {
+                if old.dirty {
+                    crash_point!("pool.evict.begin");
+                    // WAL rule: the log must cover the page before it hits
+                    // disk.
+                    self.log.flush_to(latch.page_lsn())?;
+                    crash_point!("pool.evict.after_force");
+                    let io = self.obs.timer();
+                    self.disk.write_page(&latch)?;
+                    crash_point!("pool.evict.after_write");
+                    self.obs.hist.page_write.record_since(io);
+                    self.lock_inner("storage::pool::claim.dpt").dpt.remove(&old.page);
+                }
                 let io = self.obs.timer();
-                self.disk.write_page(&latch)?;
-                crash_point!("pool.evict.after_write");
-                self.obs.hist.page_write.record_since(io);
-                self.inner.lock().dpt.remove(&old.page);
+                *latch = self.disk.read_page(page)?;
+                self.obs.hist.page_read.record_since(io);
+                Ok(())
+            })();
+            if let Err(e) = loaded {
+                lockdep::released(lockdep::Class::PageLatch);
+                return Err(e);
             }
-            let io = self.obs.timer();
-            *latch = self.disk.read_page(page)?;
-            self.obs.hist.page_read.record_since(io);
             return Ok(Claimed::Loaded(latch, idx));
         }
     }
 
     fn unpin(&self, idx: usize) {
-        let mut g = self.inner.lock();
+        let mut g = self.lock_inner("storage::pool::unpin");
         debug_assert!(g.meta[idx].pins > 0);
         g.meta[idx].pins -= 1;
     }
 
     fn mark_dirty(&self, idx: usize, rec_lsn: Lsn) {
-        let mut g = self.inner.lock();
+        let mut g = self.lock_inner("storage::pool::mark_dirty");
         let page = g.meta[idx].page;
         g.meta[idx].dirty = true;
         g.dpt.entry(page).or_insert(rec_lsn);
@@ -375,7 +423,7 @@ impl BufferPool {
     pub fn flush_page(self: &Arc<Self>, page: PageId) -> Result<()> {
         let guard = self.fix_s(page)?;
         let dirty = {
-            let g = self.inner.lock();
+            let g = self.lock_inner("storage::pool::flush_page");
             g.meta[guard.frame].dirty
         };
         if dirty {
@@ -386,7 +434,7 @@ impl BufferPool {
             self.disk.write_page(&guard)?;
             crash_point!("pool.flush.after_write");
             self.obs.hist.page_write.record_since(io);
-            let mut g = self.inner.lock();
+            let mut g = self.lock_inner("storage::pool::flush_page");
             g.meta[guard.frame].dirty = false;
             g.dpt.remove(&page);
         }
@@ -396,7 +444,7 @@ impl BufferPool {
     /// Flush every dirty page (clean shutdown / heavyweight checkpoint).
     pub fn flush_all(self: &Arc<Self>) -> Result<()> {
         let pages: Vec<PageId> = {
-            let g = self.inner.lock();
+            let g = self.lock_inner("storage::pool::flush_all");
             g.dpt.keys().copied().collect()
         };
         for p in pages {
@@ -418,7 +466,7 @@ impl BufferPool {
     /// (LSN > CkptBegin) are covered by the analysis scan itself.
     pub fn dpt_snapshot_fenced(&self) -> Vec<DptEntry> {
         let resident: Vec<usize> = {
-            let g = self.inner.lock();
+            let g = self.lock_inner("storage::pool::dpt_fence");
             g.meta
                 .iter()
                 .enumerate()
@@ -426,14 +474,16 @@ impl BufferPool {
                 .collect()
         };
         for idx in resident {
+            lockdep::acquired(lockdep::Class::PageLatch, "storage::pool::dpt_fence", true);
             drop(self.slots[idx].read_arc());
+            lockdep::released(lockdep::Class::PageLatch);
         }
         self.dpt_snapshot()
     }
 
     /// Snapshot of the dirty page table, for fuzzy checkpoints.
     pub fn dpt_snapshot(&self) -> Vec<DptEntry> {
-        let g = self.inner.lock();
+        let g = self.lock_inner("storage::pool::dpt_snapshot");
         let mut v: Vec<DptEntry> = g
             .dpt
             .iter()
@@ -445,7 +495,7 @@ impl BufferPool {
 
     /// True if `page` is currently cached (for tests).
     pub fn is_cached(&self, page: PageId) -> bool {
-        self.inner.lock().table.contains_key(&page)
+        self.lock_inner("storage::pool::is_cached").table.contains_key(&page)
     }
 }
 

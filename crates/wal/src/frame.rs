@@ -53,11 +53,11 @@ pub fn read_frame(buf: &[u8], at: Lsn) -> Result<FrameRead<'_>> {
     if off + FRAME_HEADER_LEN > buf.len() {
         return Ok(FrameRead::End { at });
     }
-    let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+    let len = ariesim_common::codec::u32_at(buf, off) as usize;
     if len == 0 {
         return Ok(FrameRead::End { at });
     }
-    let want_crc = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap());
+    let want_crc = ariesim_common::codec::u32_at(buf, off + 4);
     let body_start = off + FRAME_HEADER_LEN;
     if body_start + len > buf.len() {
         return Ok(FrameRead::End { at });

@@ -287,8 +287,8 @@ impl LogManager {
                 reason: "bad master record length".into(),
             });
         }
-        let lsn = u64::from_le_bytes(raw[0..8].try_into().unwrap());
-        let crc = u32::from_le_bytes(raw[8..12].try_into().unwrap());
+        let lsn = ariesim_common::codec::u64_at(&raw, 0);
+        let crc = ariesim_common::codec::u32_at(&raw, 8);
         if ariesim_common::codec::crc32c(&raw[0..8]) != crc {
             return Err(Error::CorruptLog {
                 lsn: Lsn::NULL,

@@ -103,6 +103,40 @@ fn mixed_workload_never_hangs_or_latch_deadlocks() {
         !f.locks.has_waiters(),
         "all lock queues must drain after the workload"
     );
+
+    // Certify the run mechanically: dump the acquisition-order graph the
+    // workload just built and replay it through the offline lockdep checker
+    // (the same check CI runs via `arieslint --lockdep`). The graph is only
+    // recorded under debug assertions.
+    let dump = ariesim::obs::lockdep::dump_jsonl();
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/lockdep.jsonl");
+    std::fs::write(&out, &dump).unwrap();
+    let parsed = analyze::lockdep::parse_dump(&dump);
+    if cfg!(debug_assertions) {
+        assert!(
+            parsed.acquisitions > 0,
+            "debug build recorded no acquisitions — lockdep instrumentation is dead"
+        );
+        assert!(
+            !parsed.edges.is_empty(),
+            "mixed workload produced no acquisition-order edges"
+        );
+    }
+    let findings = analyze::lockdep::check_dump("lockdep.jsonl", &parsed);
+    assert!(
+        findings.is_empty(),
+        "lockdep findings (graph is cyclic or violates the §4 order):\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        parsed.max_page_latch_chain <= 2,
+        "deepest page-latch chain {} exceeds the paper's budget of 2",
+        parsed.max_page_latch_chain
+    );
 }
 
 #[test]
