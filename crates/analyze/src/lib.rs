@@ -919,11 +919,11 @@ pub fn apply_allowlist(findings: Vec<Finding>, allow: &[AllowEntry]) -> Vec<Find
 // ---------------------------------------------------------------------------
 
 /// Crates subject to the latch census and the no-wait lint.
-pub const LATCH_CRATES: &[&str] = &["btree", "record", "txn", "recovery"];
+pub const LATCH_CRATES: &[&str] = &["btree", "record", "txn", "recovery", "repl"];
 
 /// Crates subject to the panic audit.
 pub const ENGINE_CRATES: &[&str] = &[
-    "common", "storage", "wal", "btree", "record", "txn", "recovery", "lock",
+    "common", "storage", "wal", "btree", "record", "txn", "recovery", "lock", "repl",
 ];
 
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

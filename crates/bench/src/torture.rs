@@ -29,6 +29,7 @@ use ariesim_common::tmp::TempDir;
 use ariesim_common::{Error, Lsn, Result};
 use ariesim_db::{Db, DbOptions, FetchCond, Row};
 use ariesim_fault as fault;
+use ariesim_repl::ReplPair;
 use ariesim_wal::RecordKind;
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -64,6 +65,16 @@ pub enum Step {
     FlushPool,
 }
 
+/// Shuffled `Insert` ops for key numbers `lo..hi`.
+fn perm_ops(rng: &mut XorShift, lo: u32, hi: u32) -> Vec<Op> {
+    let mut v: Vec<u32> = (lo..hi).collect();
+    for i in (1..v.len()).rev() {
+        let j = rng.below((i + 1) as u32) as usize;
+        v.swap(i, j);
+    }
+    v.into_iter().map(Op::Insert).collect()
+}
+
 /// The standard torture trace. Sized so that (with [`db_options`]'s small
 /// pool and the padded keys below) the workload provably crosses every SMO
 /// boundary: leaf splits with rechaining, a split inside a transaction that
@@ -71,14 +82,7 @@ pub enum Step {
 /// dirty-page eviction, a fuzzy checkpoint, and an in-flight loser.
 pub fn standard_trace(seed: u64) -> Vec<Step> {
     let mut rng = XorShift(seed | 1);
-    let mut perm = |lo: u32, hi: u32| -> Vec<Op> {
-        let mut v: Vec<u32> = (lo..hi).collect();
-        for i in (1..v.len()).rev() {
-            let j = rng.below((i + 1) as u32) as usize;
-            v.swap(i, j);
-        }
-        v.into_iter().map(Op::Insert).collect()
-    };
+    let mut perm = |lo: u32, hi: u32| -> Vec<Op> { perm_ops(&mut rng, lo, hi) };
     vec![
         Step::Txn {
             kind: TxnKind::Commit,
@@ -111,6 +115,42 @@ pub fn standard_trace(seed: u64) -> Vec<Step> {
             ops: perm(400, 430),
         },
     ]
+}
+
+/// The replication torture trace, plus the step index at which the standby
+/// is forked. The pre-fork phase commits a base population (shipped as base
+/// backup); the post-fork phase commits, rolls back, deletes, and leaves a
+/// loser in flight — all of it shipped chunk by chunk and, at the end,
+/// survived through promotion.
+pub fn repl_trace(seed: u64) -> (Vec<Step>, usize) {
+    let mut rng = XorShift(seed | 3);
+    let trace = vec![
+        // Phase A (pre-fork): the base backup's contents.
+        Step::Txn {
+            kind: TxnKind::Commit,
+            ops: perm_ops(&mut rng, 0, 120),
+        },
+        // ---- standby forked here ----
+        Step::Txn {
+            kind: TxnKind::Commit,
+            ops: perm_ops(&mut rng, 120, 200),
+        },
+        // A checkpoint whose master-record pointer must ship out of band.
+        Step::Checkpoint,
+        Step::Txn {
+            kind: TxnKind::Rollback,
+            ops: perm_ops(&mut rng, 300, 330),
+        },
+        Step::Txn {
+            kind: TxnKind::Commit,
+            ops: (0..40).map(Op::Delete).collect(),
+        },
+        Step::Txn {
+            kind: TxnKind::LeaveOpen,
+            ops: perm_ops(&mut rng, 400, 420),
+        },
+    ];
+    (trace, 1)
 }
 
 /// Indexed key for trace key number `n`: padded so a leaf holds ~100 keys
@@ -319,7 +359,7 @@ impl Default for TortureConfig {
 #[derive(Clone, Debug)]
 pub struct RunResult {
     pub point: String,
-    /// "flushed" | "forced" | "recovery".
+    /// "flushed" | "forced" | "recovery" | "repl".
     pub mode: &'static str,
     /// Which hit of the point was armed.
     pub hit: u64,
@@ -420,6 +460,89 @@ fn workload_run(
     })
 }
 
+/// The post-fork half of the replication scenario, run on the harness
+/// thread (crash arming is thread-scoped, so the shipper and the standby's
+/// ingest/apply are pumped inline, not on a pumper thread): fork a standby
+/// of `primary`, drive the post-fork trace steps with a full
+/// ship-ingest-apply drain after each, then fail the primary over and
+/// promote. Extends `started` with `(txn_id, combined-trace index)` as it
+/// goes, so the oracle survives a crash anywhere inside.
+fn drive_repl_scenario(
+    primary: Arc<Db>,
+    standby_dir: &Path,
+    trace: &[Step],
+    fork_at: usize,
+    started: &mut Vec<(u64, usize)>,
+) -> Result<Arc<Db>> {
+    let pair = ReplPair::create(primary, standby_dir, ariesim_obs::Obs::disabled())?;
+    for (i, step) in trace[fork_at..].iter().enumerate() {
+        let mut tmp = Vec::new();
+        drive_steps(pair.primary.clone(), std::slice::from_ref(step), &mut tmp)?;
+        started.extend(tmp.into_iter().map(|(t, _)| (t, fork_at + i)));
+        pair.sync()?;
+    }
+    let (primary, standby, _shipper) = pair.into_parts();
+    drop(primary);
+    standby.promote()
+}
+
+/// One replication-phase run: drive the pre-fork trace cold, arm `point`
+/// at `hit`, run the fork/ship/apply/promote scenario to the crash, then
+/// recover the standby's directory and verify it against the oracle — the
+/// standby's own recovered log decides which transactions count as
+/// committed, exactly as an unplanned failover would.
+fn repl_run(
+    point: &str,
+    hit: u64,
+    trace: &[Step],
+    fork_at: usize,
+    touched: &BTreeSet<u32>,
+) -> Result<RunResult> {
+    let dir = TempDir::new("torture-repl");
+    let standby_dir = dir.path().join("standby");
+    let db = prologue(&dir.path().join("primary"))?;
+    let mut started = Vec::new();
+    let db = drive_steps(db, &trace[..fork_at], &mut started)?;
+    fault::arm(point, hit);
+    fault::activate();
+    let out = fault::run_to_crash(|| {
+        drive_repl_scenario(db, &standby_dir, trace, fork_at, &mut started)
+    });
+    fault::disarm();
+    let mut error = None;
+    let fired = match out {
+        fault::Outcome::Crashed(sig) => {
+            debug_assert_eq!(sig.point, point);
+            true
+        }
+        fault::Outcome::Completed(r) => {
+            match r {
+                // Completed without firing: fail the *promoted* engine too
+                // and verify its recovery below.
+                Ok(promoted) => drop(promoted.crash()),
+                Err(e) => error = Some(format!("replication scenario error: {e}")),
+            }
+            false
+        }
+    };
+    if error.is_none() {
+        match Db::open(&standby_dir, db_options()) {
+            Err(e) => error = Some(format!("standby recovery failed: {e}")),
+            Ok(sdb) => {
+                let expected = expected_keys(&sdb, trace, &started);
+                error = verify_recovered(&sdb, &expected, touched).err();
+            }
+        }
+    }
+    Ok(RunResult {
+        point: point.to_string(),
+        mode: "repl",
+        hit,
+        fired,
+        error,
+    })
+}
+
 /// Enumerate the crash points the standard workload (plus the restart of its
 /// crash image) reaches, without arming any of them. One record pass, no
 /// armed runs: this is the ground truth for `arieslint --crash-points`.
@@ -445,6 +568,32 @@ pub fn list_points(cfg: &TortureConfig) -> Result<Vec<(String, u64)>> {
     let db = Db::open(&recdir, db_options())?;
     fault::disarm();
     drop(db);
+    for (name, hits) in fault::recorded() {
+        match points.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => *h += hits,
+            None => points.push((name.to_string(), hits)),
+        }
+    }
+
+    // The replication scenario reaches the ship/ingest/apply/promote points
+    // none of the above can: fork a standby mid-trace, drain the channel
+    // after every step, promote at the end.
+    let (rtrace, fork_at) = repl_trace(cfg.seed);
+    let rdir = TempDir::new("torture-list-repl");
+    let db = prologue(&rdir.path().join("primary"))?;
+    let mut rstarted = Vec::new();
+    let db = drive_steps(db, &rtrace[..fork_at], &mut rstarted)?;
+    fault::record();
+    fault::activate();
+    let promoted = drive_repl_scenario(
+        db,
+        &rdir.path().join("standby"),
+        &rtrace,
+        fork_at,
+        &mut rstarted,
+    )?;
+    fault::disarm();
+    drop(promoted);
     for (name, hits) in fault::recorded() {
         match points.iter_mut().find(|(n, _)| n == name) {
             Some((_, h)) => *h += hits,
@@ -590,6 +739,63 @@ pub fn run_torture(cfg: &TortureConfig) -> Result<TortureReport> {
             );
         }
         report.runs.push(run);
+    }
+
+    // ---- Phase 3: crash inside the replication machinery -----------------
+    // Record the points the fork/ship/apply/promote scenario reaches, check
+    // that the completed scenario satisfies the failover oracle, then crash
+    // at each replication-specific point and re-verify. Phase 1 already
+    // covers the engine-internal points the scenario re-hits.
+    let (rtrace, fork_at) = repl_trace(cfg.seed);
+    let rtouched = touched_keys(&rtrace);
+    let rdir = TempDir::new("torture-repl-record");
+    let standby0 = rdir.path().join("standby");
+    let db = prologue(&rdir.path().join("primary"))?;
+    let mut rstarted = Vec::new();
+    let db = drive_steps(db, &rtrace[..fork_at], &mut rstarted)?;
+    fault::record();
+    fault::activate();
+    let promoted = drive_repl_scenario(db, &standby0, &rtrace, fork_at, &mut rstarted)?;
+    fault::disarm();
+    let repl_points = fault::recorded();
+    drop(promoted.crash());
+    {
+        let sdb = Db::open(&standby0, db_options())?;
+        let expected = expected_keys(&sdb, &rtrace, &rstarted);
+        if let Err(e) = verify_recovered(&sdb, &expected, &rtouched) {
+            return Err(Error::Internal(format!(
+                "baseline replication failover failed: {e}"
+            )));
+        }
+    }
+    for (name, hits) in &repl_points {
+        if !name.starts_with("repl.") && !name.starts_with("wal.ingest") {
+            continue;
+        }
+        if !report.points.iter().any(|p| p == name) {
+            report.points.push(name.to_string());
+        }
+        let mut variants: Vec<u64> = vec![1];
+        if !cfg.quick && *hits > 1 {
+            variants.push(*hits);
+        }
+        for hit in variants {
+            let run = repl_run(name, hit, &rtrace, fork_at, &rtouched)?;
+            if cfg.verbose {
+                println!(
+                    "  {:-<44} {:>7} hit {:>3}  {}",
+                    format!("{} ", run.point),
+                    run.mode,
+                    run.hit,
+                    match (&run.error, run.fired) {
+                        (Some(e), _) => format!("FAIL: {e}"),
+                        (None, true) => "crashed, failed over ok".to_string(),
+                        (None, false) => "unfired, failed over ok".to_string(),
+                    }
+                );
+            }
+            report.runs.push(run);
+        }
     }
 
     report.elapsed = start.elapsed();

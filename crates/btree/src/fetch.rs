@@ -423,6 +423,25 @@ impl BTree {
         Ok(out)
     }
 
+    /// Unlocked point lookup: the first key whose value equals `value`, or
+    /// `None`. Latch-only — no locks are requested, so the caller provides
+    /// isolation (a replication standby excludes its redo applier for the
+    /// duration of the read; verification accepts racy answers). Returns
+    /// [`Error::WouldBlock`] when the leaf chain is mid-SMO and the answer
+    /// is ambiguous; retry once the structure settles.
+    pub fn get_unlocked(&self, value: &[u8]) -> Result<Option<IndexKey>> {
+        let search = SearchKey::value_only(value);
+        let leaf = self.traverse(&search, false)?;
+        let idx = leaf_lower_bound(leaf.page(), &search)?;
+        match self.next_key_after(leaf.page(), idx, &search)? {
+            NextKey::OnPage(k) | NextKey::OnNext(k, _) => {
+                Ok((k.value.as_slice() == value).then_some(k))
+            }
+            NextKey::Eof => Ok(None),
+            NextKey::Ambiguous => Err(Error::WouldBlock),
+        }
+    }
+
     /// Lock name of an arbitrary lockable key (test helper).
     pub fn lock_name_of(&self, key: &IndexKey) -> LockName {
         self.key_lock(key)

@@ -85,27 +85,39 @@ impl Db {
     /// Create or open the database in `dir`, running restart recovery over
     /// whatever state is there.
     pub fn open(dir: &Path, opts: DbOptions) -> Result<Arc<Db>> {
+        Db::open_with_obs(dir, opts, ariesim_obs::Obs::disabled())
+    }
+
+    /// [`Db::open`] with an explicit observability handle, shared by the
+    /// log, pool, lock manager, and every index.
+    pub fn open_with_obs(
+        dir: &Path,
+        opts: DbOptions,
+        obs: ariesim_obs::ObsHandle,
+    ) -> Result<Arc<Db>> {
         std::fs::create_dir_all(dir)?;
         let stats = new_stats();
-        let log = Arc::new(LogManager::open(
+        let log = Arc::new(LogManager::open_with_obs(
             &dir.join("wal"),
             LogOptions { fsync: opts.fsync },
             stats.clone(),
+            obs.clone(),
         )?);
         let disk = DiskManager::open(&dir.join("pages"), stats.clone())?;
         let fresh = disk.page_count()? == 0;
-        let pool = BufferPool::new(
+        let pool = BufferPool::new_with_obs(
             disk,
             log.clone(),
             PoolOptions { frames: opts.frames },
             stats.clone(),
+            obs.clone(),
         );
         if fresh {
             SpaceMap::initialize(&pool)?;
             Catalog::format_page(&pool)?;
             pool.flush_all()?;
         }
-        let locks = Arc::new(LockManager::new(stats.clone()));
+        let locks = Arc::new(LockManager::new_with_obs(stats.clone(), obs));
         let rms = Arc::new(RmRegistry::new());
         let heap = HeapManager::new_with_granularity(
             pool.clone(),
@@ -179,6 +191,11 @@ impl Db {
 
     pub fn options(&self) -> &DbOptions {
         &self.opts
+    }
+
+    /// The observability handle this engine reports through.
+    pub fn obs(&self) -> &ariesim_obs::ObsHandle {
+        self.pool.obs()
     }
 
     // --- transactions ---------------------------------------------------

@@ -117,6 +117,44 @@ impl Db {
         Ok(row)
     }
 
+    /// Update the row at `rid` in place: heap update (commit X record lock,
+    /// which under data-only locking covers the index keys too), then a key
+    /// delete + insert on every index whose column actually changed.
+    pub fn update_row(&self, txn: &TxnHandle, table: &str, rid: Rid, new: &Row) -> Result<()> {
+        let (tdef, indexes) = {
+            let cat = self.catalog.lock();
+            let t = cat
+                .table(table)
+                .ok_or_else(|| Error::Internal(format!("no table {table}")))?
+                .clone();
+            let ix = cat.indexes_on(t.id);
+            (t, ix)
+        };
+        if new.fields.len() != tdef.columns as usize {
+            return Err(Error::Internal(format!(
+                "row has {} fields, table {table} has {}",
+                new.fields.len(),
+                tdef.columns
+            )));
+        }
+        let old = Row::decode(&self.heap.update(txn, tdef.id, rid, &new.encode())?)?;
+        for ix in indexes {
+            let col = ix.column as usize;
+            let (ov, nv) = (old.field(col)?, new.field(col)?);
+            if ov == nv {
+                continue;
+            }
+            let tree = self
+                .catalog
+                .lock()
+                .tree(ix.id)
+                .ok_or_else(|| Error::Internal(format!("index {} not open", ix.name)))?;
+            tree.delete(txn, &IndexKey::new(ov.to_vec(), rid))?;
+            tree.insert(txn, &IndexKey::new(nv.to_vec(), rid))?;
+        }
+        Ok(())
+    }
+
     /// Fetch the first row whose indexed value satisfies (`value`, `cond`),
     /// via the named index. Under data-only locking the index's key lock is
     /// the record lock, so the heap read is lock-free (§2.1).

@@ -156,6 +156,35 @@ impl HistogramSnapshot {
     }
 }
 
+/// A last-value + running-max gauge (e.g. replication lag in bytes).
+/// Same discipline as the histograms: relaxed atomics, safe to set from
+/// any thread, never used for synchronization.
+#[derive(Default)]
+pub struct Gauge {
+    last: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    pub fn set(&self, v: u64) {
+        self.last.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn last(&self) -> u64 {
+        self.last.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.last.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
 /// Format nanoseconds for the report tables: `ns`, `µs`, `ms`, or `s`.
 pub fn fmt_ns(ns: u64) -> String {
     match ns {

@@ -24,7 +24,7 @@ pub mod lockdep;
 pub mod monitor;
 pub mod trace;
 
-pub use hist::{fmt_ns, HistogramSnapshot, LatencyHistogram};
+pub use hist::{fmt_ns, Gauge, HistogramSnapshot, LatencyHistogram};
 pub use monitor::{current_latch_depth, Monitor, MonitorSnapshot, MAX_LATCH_DEPTH};
 pub use trace::{Event, EventKind, EventRing, ModeTag};
 
@@ -60,12 +60,16 @@ pub struct Histograms {
     pub op_smo: LatencyHistogram,
     /// Transaction commit, including its log force.
     pub op_commit: LatencyHistogram,
+    /// One shipped-chunk ingest into a standby's log.
+    pub repl_ingest: LatencyHistogram,
+    /// One continuous-redo apply batch on a standby.
+    pub repl_apply: LatencyHistogram,
 }
 
 impl Histograms {
     /// Stable (name, histogram) listing used by the report and JSON
     /// exporters; order is the order rows appear in the report.
-    pub fn named(&self) -> [(&'static str, &LatencyHistogram); 11] {
+    pub fn named(&self) -> [(&'static str, &LatencyHistogram); 13] {
         [
             ("latch_wait_page", &self.latch_wait_page),
             ("latch_wait_tree", &self.latch_wait_tree),
@@ -78,14 +82,27 @@ impl Histograms {
             ("op_delete", &self.op_delete),
             ("op_smo", &self.op_smo),
             ("op_commit", &self.op_commit),
+            ("repl_ingest", &self.repl_ingest),
+            ("repl_apply", &self.repl_apply),
         ]
     }
 }
 
-/// One observability domain: histograms + event ring + invariant monitor.
+/// Instantaneous gauges kept by an [`Obs`]. Unlike the histograms these
+/// are always live (a gauge `set` is two relaxed stores): replication lag
+/// is an operational signal, not a profiling one.
+#[derive(Default)]
+pub struct Gauges {
+    /// Bytes of durable primary log a standby has not yet applied.
+    pub repl_lag_bytes: Gauge,
+}
+
+/// One observability domain: histograms + gauges + event ring + invariant
+/// monitor.
 pub struct Obs {
     enabled: bool,
     pub hist: Histograms,
+    pub gauge: Gauges,
     pub ring: EventRing,
     pub monitor: Monitor,
 }
@@ -101,6 +118,7 @@ impl Obs {
         Arc::new(Obs {
             enabled: false,
             hist: Histograms::default(),
+            gauge: Gauges::default(),
             ring: EventRing::new(8),
             monitor: Monitor::default(),
         })
@@ -111,6 +129,7 @@ impl Obs {
         Arc::new(Obs {
             enabled: true,
             hist: Histograms::default(),
+            gauge: Gauges::default(),
             ring: EventRing::new(ring_capacity),
             monitor: Monitor::default(),
         })
@@ -147,6 +166,7 @@ impl Obs {
         for (_, h) in self.hist.named() {
             h.reset();
         }
+        self.gauge.repl_lag_bytes.reset();
         self.ring.reset();
     }
 
@@ -172,6 +192,14 @@ impl Obs {
                 fmt_ns(s.p99()),
                 fmt_ns(s.max()),
                 fmt_ns(s.mean_ns()),
+            ));
+        }
+        let lag = &self.gauge.repl_lag_bytes;
+        if lag.max() != 0 {
+            out.push_str(&format!(
+                "repl lag: {} bytes now, {} bytes max\n",
+                lag.last(),
+                lag.max(),
             ));
         }
         let m = self.monitor.snapshot();
@@ -222,6 +250,13 @@ impl Obs {
         }
         hists.push('}');
         root.field_raw("histograms", &hists);
+
+        let mut go = json::Object::new();
+        let mut lg = json::Object::new();
+        lg.field_u64("last", self.gauge.repl_lag_bytes.last());
+        lg.field_u64("max", self.gauge.repl_lag_bytes.max());
+        go.field_raw("repl_lag_bytes", &lg.finish());
+        root.field_raw("gauges", &go.finish());
 
         let m = self.monitor.snapshot();
         let mut mo = json::Object::new();

@@ -334,9 +334,11 @@ impl HeapManager {
             .ok_or(Error::BadRid { rid })
     }
 
-    /// Replace the record at `rid` in place. The new image must fit in the
-    /// page (records never move — RIDs are stable names; see crate docs).
-    pub fn update(&self, txn: &TxnHandle, table: TableId, rid: Rid, new: &[u8]) -> Result<()> {
+    /// Replace the record at `rid` in place, returning the replaced image
+    /// (callers doing index maintenance diff old against new). The new
+    /// image must fit in the page (records never move — RIDs are stable
+    /// names; see crate docs).
+    pub fn update(&self, txn: &TxnHandle, table: TableId, rid: Rid, new: &[u8]) -> Result<Vec<u8>> {
         self.locks.request(
             txn.id,
             self.data_lock(rid),
@@ -362,14 +364,14 @@ impl HeapManager {
                 HeapBody::Update {
                     table,
                     slot: rid.slot,
-                    old,
+                    old: old.clone(),
                     new: new.to_vec(),
                 }
                 .encode(),
             )
         });
         g.record_update(lsn);
-        Ok(())
+        Ok(old)
     }
 
     /// Unlocked scan of a heap file (verification / examples). Returns every

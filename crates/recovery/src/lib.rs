@@ -23,8 +23,15 @@
 //! paper's §5 claim that index pages are recoverable page-oriented from a
 //! dump without any tree traversal.
 
+//!
+//! Continuous redo ([`continuous`]): the redo pass in resumable form, for a
+//! log-shipping standby that repeats history forever and only runs the full
+//! three passes when promoted.
+
+pub mod continuous;
 pub mod media;
 pub mod restart;
 
+pub use continuous::{apply_redo, RedoCursor};
 pub use media::ImageCopy;
 pub use restart::{restart, RestartOutcome};

@@ -1,0 +1,337 @@
+//! The warm standby: restart's redo pass running as a service.
+//!
+//! A standby is assembled from the same stack as a [`Db`] — log, pool,
+//! resource managers, catalog, trees — but with **no transaction manager
+//! and no restart**: its log is a byte-identical prefix of the primary's
+//! (base backup + ingested chunks), and its only writer is the continuous
+//! redo applier. Keeping the standby transaction-free is load-bearing:
+//! even beginning a read-only transaction would append a Begin record and
+//! fork the standby's log away from the primary's.
+//!
+//! Reads are therefore latch-only snapshot reads at the **applied-LSN
+//! watermark**: an `RwLock` excludes the applier (writer) from readers, so
+//! a read observes exactly the state at `applied_lsn` — never further,
+//! because the applier is the sole mutator and it publishes the watermark
+//! under the same gate.
+//!
+//! Promotion is the paper's observation made literal: a standby *is* a
+//! database that crashed at its applied watermark plus whatever log it has
+//! ingested. [`Standby::promote`] flushes what it can, tears the standby
+//! down, and runs a plain [`Db::open`] — analysis from the last shipped
+//! checkpoint, redo of the unapplied suffix, undo of in-flight (loser)
+//! transactions shipped from the primary.
+
+use crate::transport::LogTransport;
+use ariesim_btree::{BTree, IndexRm};
+use ariesim_common::stats::{new_stats, StatsHandle};
+use ariesim_common::{Error, Lsn, Result, Rid};
+use ariesim_db::catalog::Catalog;
+use ariesim_db::{Db, DbOptions, Row};
+use ariesim_fault::crash_point;
+use ariesim_lock::LockManager;
+use ariesim_obs::ObsHandle;
+use ariesim_record::HeapManager;
+use ariesim_recovery::{apply_redo, RedoCursor};
+use ariesim_storage::{BufferPool, DiskManager, PoolOptions, SpaceRm};
+use ariesim_txn::RmRegistry;
+use ariesim_wal::frame::{self, FrameRead};
+use ariesim_wal::{LogManager, LogOptions};
+use parking_lot::{Mutex, RwLock};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Records applied per gate acquisition: readers interleave at this grain.
+const APPLY_BATCH: u64 = 32;
+
+/// Receive chunk size (grown on demand up to [`MAX_RECV_CHUNK`] when a
+/// single shipped frame is wider than the window).
+const RECV_CHUNK: usize = 64 * 1024;
+
+/// Hard ceiling on the receive window; a "frame" wider than this is
+/// stream corruption, not a big record.
+const MAX_RECV_CHUNK: usize = 64 * 1024 * 1024;
+
+/// Length of the longest prefix of `chunk` that is entirely whole, valid
+/// frames (the transport is a byte stream and may hand us a torn tail).
+fn whole_frame_prefix(chunk: &[u8]) -> Result<usize> {
+    let mut off = 0u64;
+    loop {
+        match frame::read_frame(chunk, Lsn(off))? {
+            FrameRead::Ok { next, .. } => off = next.0,
+            FrameRead::End { .. } => return Ok(off as usize),
+        }
+    }
+}
+
+/// A continuously-redoing replica over a shipped log stream.
+pub struct Standby {
+    dir: PathBuf,
+    opts: DbOptions,
+    pub stats: StatsHandle,
+    pub log: Arc<LogManager>,
+    pub pool: Arc<BufferPool>,
+    rms: Arc<RmRegistry>,
+    trees: Vec<(String, Arc<BTree>)>,
+    transport: Arc<dyn LogTransport>,
+    /// Serializes receive+ingest so concurrent pumpers cannot interleave
+    /// between reading the ingest point and extending the log.
+    recv_lock: Mutex<()>,
+    cursor: Mutex<RedoCursor>,
+    /// Mirror of `cursor.at`, readable without the cursor lock.
+    applied: AtomicU64,
+    /// Apply/read exclusion: the applier holds write, readers hold read.
+    gate: RwLock<()>,
+    obs: ObsHandle,
+}
+
+impl Standby {
+    /// Open a standby over `dir` (a base backup of the primary — see
+    /// [`crate::fork_standby`]) fed by `transport`. Catches up to the
+    /// locally durable log before returning, so the applied watermark is
+    /// meaningful from the first read.
+    pub fn open(
+        dir: &Path,
+        opts: DbOptions,
+        transport: Arc<dyn LogTransport>,
+        obs: ObsHandle,
+    ) -> Result<Arc<Standby>> {
+        let stats = new_stats();
+        let log = Arc::new(LogManager::open_with_obs(
+            &dir.join("wal"),
+            LogOptions { fsync: opts.fsync },
+            stats.clone(),
+            obs.clone(),
+        )?);
+        let disk = DiskManager::open(&dir.join("pages"), stats.clone())?;
+        let pool = BufferPool::new_with_obs(
+            disk,
+            log.clone(),
+            PoolOptions { frames: opts.frames },
+            stats.clone(),
+            obs.clone(),
+        );
+        let locks = Arc::new(LockManager::new(stats.clone()));
+        let rms = Arc::new(RmRegistry::new());
+        let heap = HeapManager::new_with_granularity(
+            pool.clone(),
+            locks.clone(),
+            log.clone(),
+            stats.clone(),
+            opts.page_granularity,
+        );
+        let index_rm = IndexRm::new(pool.clone(), stats.clone());
+        rms.register(heap);
+        rms.register(index_rm.clone());
+        rms.register(Arc::new(SpaceRm::new(pool.clone())));
+
+        let catalog = Catalog::load(&pool)?;
+        let mut trees = Vec::new();
+        for def in catalog.indexes() {
+            let tree = BTree::new_with_granularity(
+                def.id,
+                def.root,
+                def.unique,
+                opts.protocol,
+                opts.page_granularity,
+                pool.clone(),
+                locks.clone(),
+                log.clone(),
+                stats.clone(),
+            );
+            index_rm.register_tree(tree.clone());
+            trees.push((def.name.clone(), tree));
+        }
+
+        let this = Standby {
+            dir: dir.to_path_buf(),
+            opts,
+            stats,
+            log,
+            pool,
+            rms,
+            trees,
+            transport,
+            recv_lock: Mutex::new(()),
+            cursor: Mutex::new(RedoCursor::starting_at(Lsn::NULL)),
+            applied: AtomicU64::new(0),
+            gate: RwLock::new(()),
+            obs,
+        };
+        // Catch up to the locally durable log (the base backup may predate
+        // its own log end; redo's page_lsn check makes this idempotent).
+        this.apply_once()?;
+        Ok(Arc::new(this))
+    }
+
+    /// This standby's observability domain (ingest/apply histograms and
+    /// the replication-lag gauge live here).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// The applied-LSN watermark: reads reflect the log exactly up to here.
+    pub fn applied_lsn(&self) -> Lsn {
+        Lsn(self.applied.load(Ordering::Acquire))
+    }
+
+    /// Durable primary log this standby has not yet applied, in bytes
+    /// (computed against the transport's stream end; the primary may be
+    /// further ahead still).
+    pub fn lag_bytes(&self) -> u64 {
+        self.transport
+            .end()
+            .map(|e| e.0.saturating_sub(self.applied_lsn().0))
+            .unwrap_or(0)
+    }
+
+    /// Receive and ingest at most one chunk from the transport, and adopt
+    /// the primary's master record once the checkpoint it names has been
+    /// shipped. Returns bytes ingested (0 = nothing new).
+    ///
+    /// The transport is a byte stream, so a bounded `recv` can cut the
+    /// last frame in half; only the whole-frame prefix is ingested and the
+    /// remainder is re-fetched next cycle. A lone frame wider than the
+    /// window widens it.
+    pub fn recv_once(&self) -> Result<u64> {
+        let _recv = self.recv_lock.lock();
+        let at = self.log.next_lsn();
+        let mut max = RECV_CHUNK;
+        let (chunk, whole) = loop {
+            let chunk = self.transport.recv(at, max)?;
+            let whole = whole_frame_prefix(&chunk)?;
+            // A full window with no complete frame means the next frame is
+            // wider than the window; anything short of a full window is
+            // simply all the stream has right now.
+            if whole > 0 || chunk.len() < max {
+                break (chunk, whole);
+            }
+            max = max
+                .checked_mul(2)
+                .filter(|&m| m <= MAX_RECV_CHUNK)
+                .ok_or_else(|| Error::CorruptLog {
+                    lsn: at,
+                    reason: "shipped frame wider than the receive limit".into(),
+                })?;
+        };
+        if whole > 0 {
+            let t = self.obs.timer();
+            self.log.ingest_frames(at, &chunk[..whole])?;
+            self.obs.hist.repl_ingest.record_since(t);
+            crash_point!("repl.recv.ingested");
+        }
+        let master = self.transport.master()?;
+        if !master.is_null() && master < self.log.next_lsn() && self.log.read_master()? != master
+        {
+            self.log.write_master(master)?;
+        }
+        Ok(whole as u64)
+    }
+
+    /// Apply all ingested-but-unapplied log, a batch at a time; readers
+    /// interleave between batches. Returns the new applied watermark.
+    pub fn apply_once(&self) -> Result<Lsn> {
+        let upto = self.log.flushed_lsn();
+        loop {
+            let _w = self.gate.write();
+            let mut cur = self.cursor.lock();
+            let t = self.obs.timer();
+            let examined = apply_redo(
+                &self.log,
+                &self.pool,
+                self.rms.as_ref(),
+                &self.stats,
+                &mut cur,
+                upto,
+                APPLY_BATCH,
+            )?;
+            self.applied.store(cur.at.0, Ordering::Release);
+            if examined == 0 {
+                break;
+            }
+            self.obs.hist.repl_apply.record_since(t);
+            drop(cur);
+            drop(_w);
+            crash_point!("repl.apply.batch");
+        }
+        Ok(self.applied_lsn())
+    }
+
+    /// One receive + apply cycle; updates the replication-lag gauge.
+    /// Returns bytes ingested.
+    pub fn pump(&self) -> Result<u64> {
+        let n = self.recv_once()?;
+        self.apply_once()?;
+        self.obs.gauge.repl_lag_bytes.set(self.lag_bytes());
+        Ok(n)
+    }
+
+    /// Snapshot read at the applied watermark: the row whose key in
+    /// `index` equals `value`. Latch-only (no transaction, no locks — see
+    /// module docs); the apply gate guarantees the answer is exactly the
+    /// watermark state.
+    pub fn read(&self, index: &str, value: &[u8]) -> Result<Option<(Rid, Row)>> {
+        let tree = self.tree(index)?;
+        // An in-flight SMO shipped mid-window can make the leaf chain
+        // momentarily ambiguous; applying further log resolves it.
+        for _ in 0..64 {
+            let _r = self.gate.read();
+            match tree.get_unlocked(value) {
+                Ok(None) => return Ok(None),
+                Ok(Some(key)) => {
+                    let g = self.pool.fix_s(key.rid.page)?; // latch-rank: 2
+                    let bytes = g
+                        .cell(key.rid.slot.0)
+                        .map(|c| c.to_vec())
+                        .ok_or(Error::BadRid { rid: key.rid })?;
+                    return Ok(Some((key.rid, Row::decode(&bytes)?)));
+                }
+                Err(Error::WouldBlock) => {
+                    drop(_r);
+                    self.apply_once()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(Error::Internal(format!(
+            "standby read of {index} still ambiguous after catch-up"
+        )))
+    }
+
+    /// Unlocked count of live keys in `index` (verification helper).
+    pub fn count(&self, index: &str) -> Result<usize> {
+        let tree = self.tree(index)?;
+        let _r = self.gate.read();
+        Ok(tree.scan_all_unlocked()?.len())
+    }
+
+    fn tree(&self, index: &str) -> Result<Arc<BTree>> {
+        self.trees
+            .iter()
+            .find(|(n, _)| n == index)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| Error::Internal(format!("no index {index} on standby")))
+    }
+
+    /// Fail over: complete recovery over everything this standby has
+    /// ingested and open the result as a read-write [`Db`]. Consumes the
+    /// standby (the caller must hold the only `Arc`). Uncommitted primary
+    /// transactions whose updates were shipped are rolled back by restart's
+    /// undo pass, exactly as if the primary had crashed here.
+    pub fn promote(self: Arc<Self>) -> Result<Arc<Db>> {
+        let this = Arc::try_unwrap(self)
+            .map_err(|_| Error::Internal("standby still shared at promote".into()))?;
+        crash_point!("repl.promote.begin");
+        let Standby {
+            dir, opts, pool, ..
+        } = this;
+        // Flushing shrinks the redo pass of the reopen; correctness never
+        // depends on it (redo is idempotent, the ingested log is durable).
+        pool.flush_all()?;
+        drop(pool);
+        crash_point!("repl.promote.reopen");
+        let db = Db::open(&dir, opts)?;
+        crash_point!("repl.promote.done");
+        Ok(db)
+    }
+}

@@ -1,0 +1,521 @@
+//! The YCSB-style traffic driver.
+//!
+//! N worker threads issue single-operation transactions against a `kv`
+//! table (key, payload) through its unique primary index, choosing keys
+//! uniformly or zipfian-skewed and operations from a configurable
+//! read/insert/update/delete mix. The same driver runs against a
+//! standalone engine or a [`ReplPair`]; in the latter case a dedicated
+//! pumper thread ships and applies log continuously, and a configurable
+//! fraction of reads is served by the standby at its applied watermark.
+//!
+//! Latency is measured per operation into [`LatencyHistogram`]s; commit
+//! latency and replication lag come from the engine's own `crates/obs`
+//! instrumentation, so the harness reports the same numbers `--obs`
+//! reports elsewhere.
+
+use crate::rng::Rng;
+use crate::zipf::Zipf;
+use ariesim_common::{Error, Result};
+use ariesim_db::{Db, FetchCond, Row};
+use ariesim_obs::{HistogramSnapshot, LatencyHistogram};
+use ariesim_repl::ReplPair;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Key-choice distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDist {
+    Uniform,
+    /// Zipfian with the given theta (YCSB default 0.99).
+    Zipfian(f64),
+}
+
+/// Operation mix as integer weights; `read:insert:update:delete`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MixSpec {
+    pub read: u32,
+    pub insert: u32,
+    pub update: u32,
+    pub delete: u32,
+}
+
+impl MixSpec {
+    /// YCSB workload-A-ish default: half reads, half updates.
+    pub const UPDATE_HEAVY: MixSpec = MixSpec {
+        read: 50,
+        insert: 0,
+        update: 50,
+        delete: 0,
+    };
+
+    /// A mixed workload exercising every operation kind.
+    pub const CRUD: MixSpec = MixSpec {
+        read: 70,
+        insert: 15,
+        update: 10,
+        delete: 5,
+    };
+
+    /// Parse `"r:i:u:d"`, e.g. `"70:15:10:5"`.
+    pub fn parse(s: &str) -> Result<MixSpec> {
+        let parts: Vec<u32> = s
+            .split(':')
+            .map(|p| {
+                p.parse()
+                    .map_err(|_| Error::Internal(format!("bad mix component {p:?} in {s:?}")))
+            })
+            .collect::<Result<_>>()?;
+        let [read, insert, update, delete]: [u32; 4] = parts
+            .try_into()
+            .map_err(|_| Error::Internal(format!("mix {s:?} needs exactly r:i:u:d")))?;
+        if read + insert + update + delete == 0 {
+            return Err(Error::Internal("mix weights sum to zero".into()));
+        }
+        Ok(MixSpec {
+            read,
+            insert,
+            update,
+            delete,
+        })
+    }
+
+    fn total(&self) -> u32 {
+        self.read + self.insert + self.update + self.delete
+    }
+}
+
+impl std::fmt::Display for MixSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}:{}",
+            self.read, self.insert, self.update, self.delete
+        )
+    }
+}
+
+/// One run's shape.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    pub threads: usize,
+    pub ops_per_thread: u64,
+    /// Preloaded key population; inserts extend past it.
+    pub keyspace: u64,
+    /// Payload bytes per row.
+    pub payload: usize,
+    pub dist: KeyDist,
+    pub mix: MixSpec,
+    pub seed: u64,
+    /// In replication mode, the fraction of reads served by the standby.
+    pub standby_read_fraction: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 1,
+            ops_per_thread: 10_000,
+            keyspace: 10_000,
+            payload: 100,
+            dist: KeyDist::Zipfian(0.99),
+            mix: MixSpec::CRUD,
+            seed: 0x5EED,
+            standby_read_fraction: 0.5,
+        }
+    }
+}
+
+/// What the driver runs against.
+pub enum Target<'a> {
+    Standalone(&'a Arc<Db>),
+    Repl(&'a ReplPair),
+}
+
+impl Target<'_> {
+    fn primary(&self) -> &Arc<Db> {
+        match self {
+            Target::Standalone(db) => db,
+            Target::Repl(pair) => &pair.primary,
+        }
+    }
+}
+
+/// Per-operation latency snapshots plus run-level counters.
+pub struct RunResult {
+    pub threads: usize,
+    /// Committed operations (aborted-and-retried attempts not counted).
+    pub ops: u64,
+    pub elapsed: Duration,
+    pub read: HistogramSnapshot,
+    pub insert: HistogramSnapshot,
+    pub update: HistogramSnapshot,
+    pub delete: HistogramSnapshot,
+    /// Engine-side commit latency (`obs.hist.op_commit`).
+    pub commit: HistogramSnapshot,
+    /// Deadlock-victim aborts (each retried).
+    pub aborts: u64,
+    /// Reads served by the standby at its watermark (repl mode only).
+    pub standby_reads: u64,
+    /// High-water replication lag over the run, bytes (repl mode only).
+    pub max_lag_bytes: u64,
+    /// Standby apply-batch latency (`obs.hist.repl_apply`, repl mode only).
+    pub repl_apply: HistogramSnapshot,
+}
+
+impl RunResult {
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn key_bytes(i: u64) -> Vec<u8> {
+    format!("key{i:012}").into_bytes()
+}
+
+fn payload_bytes(i: u64, len: usize) -> Vec<u8> {
+    let mut p = format!("v{i:016}-").into_bytes();
+    p.resize(len.max(p.len()), b'x');
+    p
+}
+
+/// Create the `kv` schema and preload `keyspace` rows in batches. Call
+/// once on the (future) primary before [`run`] — and, for replication,
+/// before forking the standby so the population ships as base backup.
+pub fn load(db: &Arc<Db>, cfg: &WorkloadConfig) -> Result<()> {
+    db.create_table("kv", 2)?;
+    db.create_index("kv_pk", "kv", 0, true)?;
+    let mut i = 0;
+    while i < cfg.keyspace {
+        let txn = db.begin();
+        for _ in 0..256 {
+            if i >= cfg.keyspace {
+                break;
+            }
+            db.insert_row(
+                &txn,
+                "kv",
+                &Row::new(vec![key_bytes(i), payload_bytes(i, cfg.payload)]),
+            )?;
+            i += 1;
+        }
+        db.commit(&txn)?;
+    }
+    Ok(())
+}
+
+struct SharedState {
+    next_id: AtomicU64,
+    aborts: AtomicU64,
+    standby_reads: AtomicU64,
+}
+
+/// Drive `cfg.threads` workers for `cfg.ops_per_thread` operations each.
+/// Resets the target's obs domain at the start so the commit histogram
+/// and lag gauge cover exactly this run.
+pub fn run(target: &Target<'_>, cfg: &WorkloadConfig) -> Result<RunResult> {
+    let primary = target.primary();
+    primary.obs().reset();
+    if let Target::Repl(pair) = target {
+        pair.standby.obs().reset();
+    }
+
+    let hist_read = LatencyHistogram::default();
+    let hist_insert = LatencyHistogram::default();
+    let hist_update = LatencyHistogram::default();
+    let hist_delete = LatencyHistogram::default();
+    let shared = SharedState {
+        next_id: AtomicU64::new(cfg.keyspace),
+        aborts: AtomicU64::new(0),
+        standby_reads: AtomicU64::new(0),
+    };
+    let zipf = match cfg.dist {
+        KeyDist::Zipfian(theta) => Some(Zipf::new(cfg.keyspace.max(2), theta)),
+        KeyDist::Uniform => None,
+    };
+    let stop = AtomicBool::new(false);
+
+    let started = Instant::now();
+    let worker_results: Vec<Result<u64>> = std::thread::scope(|s| {
+        // Replication pumper: ship + apply continuously, tracking the lag
+        // gauge. Backs off briefly when the channel is idle.
+        if let Target::Repl(pair) = target {
+            s.spawn(|| {
+                while !stop.load(Ordering::Acquire) {
+                    match pair.pump() {
+                        Ok(0) => std::thread::sleep(Duration::from_micros(200)),
+                        Ok(_) => {}
+                        Err(_) => break, // surfaced by the post-run sync
+                    }
+                }
+            });
+        }
+
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let hists = (&hist_read, &hist_insert, &hist_update, &hist_delete);
+                let shared = &shared;
+                let zipf = zipf.as_ref();
+                s.spawn(move || {
+                    worker(
+                        target,
+                        cfg,
+                        t,
+                        zipf,
+                        shared,
+                        hists.0,
+                        hists.1,
+                        hists.2,
+                        hists.3,
+                    )
+                })
+            })
+            .collect();
+        let results = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        stop.store(true, Ordering::Release);
+        results
+    });
+    let elapsed = started.elapsed();
+
+    let mut ops = 0;
+    for r in worker_results {
+        ops += r?;
+    }
+
+    let (max_lag, repl_apply) = match target {
+        Target::Repl(pair) => {
+            pair.sync()?; // drain; also surfaces any pumper-thread error
+            let sobs = pair.standby.obs();
+            (
+                sobs.gauge.repl_lag_bytes.max(),
+                sobs.hist.repl_apply.snapshot(),
+            )
+        }
+        Target::Standalone(_) => (0, HistogramSnapshot::default()),
+    };
+
+    Ok(RunResult {
+        threads: cfg.threads,
+        ops,
+        elapsed,
+        read: hist_read.snapshot(),
+        insert: hist_insert.snapshot(),
+        update: hist_update.snapshot(),
+        delete: hist_delete.snapshot(),
+        commit: primary.obs().hist.op_commit.snapshot(),
+        aborts: shared.aborts.load(Ordering::Relaxed),
+        standby_reads: shared.standby_reads.load(Ordering::Relaxed),
+        max_lag_bytes: max_lag,
+        repl_apply,
+    })
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Op {
+    Read,
+    Insert,
+    Update,
+    Delete,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    target: &Target<'_>,
+    cfg: &WorkloadConfig,
+    thread_idx: usize,
+    zipf: Option<&Zipf>,
+    shared: &SharedState,
+    hist_read: &LatencyHistogram,
+    hist_insert: &LatencyHistogram,
+    hist_update: &LatencyHistogram,
+    hist_delete: &LatencyHistogram,
+) -> Result<u64> {
+    let db = target.primary();
+    let mut rng = Rng::new(cfg.seed ^ (thread_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // Keys this worker inserted and may later delete; preloaded keys are
+    // never deleted, so reads/updates of the base population always hit.
+    let mut own_keys: Vec<u64> = Vec::new();
+    let total = cfg.mix.total();
+    let mut committed = 0u64;
+
+    for _ in 0..cfg.ops_per_thread {
+        let roll = rng.below(total as u64) as u32;
+        let mut op = if roll < cfg.mix.read {
+            Op::Read
+        } else if roll < cfg.mix.read + cfg.mix.insert {
+            Op::Insert
+        } else if roll < cfg.mix.read + cfg.mix.insert + cfg.mix.update {
+            Op::Update
+        } else {
+            Op::Delete
+        };
+        if op == Op::Delete && own_keys.is_empty() {
+            op = Op::Insert; // nothing of our own to delete yet
+        }
+
+        let rank = match zipf {
+            Some(z) => z.sample(&mut rng),
+            None => rng.below(cfg.keyspace),
+        };
+
+        // Standby reads are transaction-free watermark reads; everything
+        // else (and the remaining reads) goes through the primary.
+        if op == Op::Read {
+            if let Target::Repl(pair) = target {
+                if rng.next_f64() < cfg.standby_read_fraction {
+                    let t = Instant::now();
+                    pair.standby.read("kv_pk", &key_bytes(rank))?;
+                    hist_read.record_ns(t.elapsed().as_nanos() as u64);
+                    shared.standby_reads.fetch_add(1, Ordering::Relaxed);
+                    committed += 1;
+                    continue;
+                }
+            }
+        }
+
+        let t = Instant::now();
+        let txn = db.begin();
+        let res = match op {
+            Op::Read => db
+                .fetch_via(&txn, "kv_pk", &key_bytes(rank), FetchCond::Eq)
+                .map(|_| ()),
+            Op::Insert => {
+                let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+                db.insert_row(
+                    &txn,
+                    "kv",
+                    &Row::new(vec![key_bytes(id), payload_bytes(id, cfg.payload)]),
+                )
+                .map(|_| own_keys.push(id))
+            }
+            Op::Update => db
+                .fetch_via(&txn, "kv_pk", &key_bytes(rank), FetchCond::Eq)
+                .and_then(|hit| match hit {
+                    Some((rid, _)) => db.update_row(
+                        &txn,
+                        "kv",
+                        rid,
+                        &Row::new(vec![
+                            key_bytes(rank),
+                            payload_bytes(rank ^ committed, cfg.payload),
+                        ]),
+                    ),
+                    None => Ok(()), // concurrently absent key: a no-op update
+                }),
+            Op::Delete => {
+                let id = own_keys.pop().expect("checked non-empty");
+                db.fetch_via(&txn, "kv_pk", &key_bytes(id), FetchCond::Eq)
+                    .and_then(|hit| match hit {
+                        Some((rid, _)) => db.delete_row(&txn, "kv", rid).map(|_| ()),
+                        None => Ok(()),
+                    })
+            }
+        };
+        match res.and_then(|()| db.commit(&txn)) {
+            Ok(()) => {
+                let ns = t.elapsed().as_nanos() as u64;
+                match op {
+                    Op::Read => hist_read.record_ns(ns),
+                    Op::Insert => hist_insert.record_ns(ns),
+                    Op::Update => hist_update.record_ns(ns),
+                    Op::Delete => hist_delete.record_ns(ns),
+                }
+                committed += 1;
+            }
+            Err(e) if e.is_retryable() => {
+                shared.aborts.fetch_add(1, Ordering::Relaxed);
+                db.rollback(&txn)?;
+            }
+            Err(e) => {
+                db.rollback(&txn).ok();
+                return Err(e);
+            }
+        }
+    }
+    Ok(committed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariesim_common::tmp::TempDir;
+    use ariesim_db::DbOptions;
+
+    fn small_cfg(threads: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            threads,
+            ops_per_thread: 200,
+            keyspace: 100,
+            payload: 32,
+            dist: KeyDist::Zipfian(0.99),
+            mix: MixSpec::CRUD,
+            seed: 7,
+            standby_read_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn mix_parses_and_rejects() {
+        assert_eq!(
+            MixSpec::parse("70:15:10:5").unwrap(),
+            MixSpec::CRUD
+        );
+        assert!(MixSpec::parse("1:2:3").is_err());
+        assert!(MixSpec::parse("0:0:0:0").is_err());
+        assert!(MixSpec::parse("a:b:c:d").is_err());
+        assert_eq!(MixSpec::CRUD.to_string(), "70:15:10:5");
+    }
+
+    #[test]
+    fn standalone_run_commits_and_verifies() {
+        let dir = TempDir::new("workload-standalone");
+        let db = Db::open_with_obs(
+            dir.path(),
+            DbOptions {
+                frames: 256,
+                ..DbOptions::default()
+            },
+            ariesim_obs::Obs::enabled(256),
+        )
+        .unwrap();
+        let cfg = small_cfg(2);
+        load(&db, &cfg).unwrap();
+        let res = run(&Target::Standalone(&db), &cfg).unwrap();
+        assert_eq!(res.ops + res.aborts, 2 * cfg.ops_per_thread);
+        assert!(res.read.count + res.insert.count + res.update.count + res.delete.count > 0);
+        assert!(res.commit.count > 0, "engine commit histogram populated");
+        assert!(res.throughput() > 0.0);
+        db.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn repl_run_serves_standby_reads_and_stays_consistent() {
+        let dir = TempDir::new("workload-repl");
+        let db = Db::open_with_obs(
+            &dir.path().join("primary"),
+            DbOptions {
+                frames: 256,
+                ..DbOptions::default()
+            },
+            ariesim_obs::Obs::enabled(256),
+        )
+        .unwrap();
+        let cfg = small_cfg(2);
+        load(&db, &cfg).unwrap();
+        let pair = ReplPair::create(
+            db,
+            &dir.path().join("standby"),
+            ariesim_obs::Obs::enabled(256),
+        )
+        .unwrap();
+        let res = run(&Target::Repl(&pair), &cfg).unwrap();
+        assert!(res.standby_reads > 0, "some reads served by the standby");
+        assert_eq!(res.ops + res.aborts, 2 * cfg.ops_per_thread);
+        // Drained at end of run: standby agrees with the primary.
+        let primary_rows = pair.primary.verify_consistency().unwrap().rows;
+        assert_eq!(pair.standby.count("kv_pk").unwrap(), primary_rows);
+    }
+}
