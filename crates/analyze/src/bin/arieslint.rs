@@ -48,7 +48,8 @@ fn main() -> ExitCode {
                      \n\
                      With no --lockdep: run the source lint suite over the workspace\n\
                      (latch census + rank order, no-wait-under-latch, panic audit,\n\
-                     crash-point registry, WAL-record coverage), filtered through\n\
+                     crash-point registry, metric-name audit, WAL-record coverage),\n\
+                     filtered through\n\
                      lint.allow. --crash-points adds the reachability audit against\n\
                      a `torture --list-points` output file.\n\
                      \n\
@@ -128,9 +129,10 @@ fn main() -> ExitCode {
             print!("{}", analyze::census_table(&report.census));
         }
         println!(
-            "arieslint: {} latch sites, {} crash points, {} allowlist entries",
+            "arieslint: {} latch sites, {} crash points, {} metric names, {} allowlist entries",
             report.census.len(),
             report.crash_points.len(),
+            report.metric_sites.len(),
             allow.len()
         );
     }

@@ -1,0 +1,22 @@
+// Fixture for the metric-name audit. Lines matter: the tests assert them.
+pub fn wire(reg: &MetricsRegistry, n: u64) {
+    reg.register_counter(
+        "good_counter",
+        "a documented counter",
+        move || n,
+    );
+    reg.register_gauge("BadName", "not snake_case", || 0);
+    reg.register_counter("dup_metric", "first", || 1);
+    reg.register_histogram("dup_metric", "second", snap);
+    reg.register_gauge("lonely_metric", "nobody reads this", || 0);
+    let dynamic = format!("span_{n}_self_ns");
+    reg.register_counter(&dynamic, "dynamic name: not audited here", move || n);
+}
+
+#[cfg(test)]
+mod tests {
+    // Registrations in test modules are out of scope for the audit.
+    fn t() {
+        reg.register_counter("test_only_metric", "ignored", || 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! `foldtrace` — fold a JSONL event-ring dump into a time-attribution
+//! report, optionally exporting Chrome `trace_event` JSON.
+//!
+//! ```sh
+//! cargo run -p ariesim-workload --bin workload -- baseline --quick --trace events.jsonl
+//! cargo run -p ariesim-bench --bin foldtrace -- events.jsonl
+//! cargo run -p ariesim-bench --bin foldtrace -- events.jsonl --chrome trace.json
+//! ```
+//!
+//! The report shows per-kind self time (where commit latency actually
+//! went: lock wait, latch wait, WAL append, fsync, page I/O) and the
+//! slowest transactions; the Chrome export loads into `chrome://tracing`
+//! or Perfetto for flamegraph-style inspection. The dump's header line
+//! carries the ring's dropped/torn counts, so the report says explicitly
+//! when the attribution is incomplete.
+
+use ariesim_obs::{Attribution, Event};
+
+fn main() {
+    let mut path = None;
+    let mut chrome = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--chrome" => match args.next() {
+                Some(p) => chrome = Some(p),
+                None => {
+                    eprintln!("foldtrace: --chrome needs an output path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("foldtrace <events.jsonl> [--chrome OUT.json]");
+                return;
+            }
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string())
+            }
+            other => {
+                eprintln!("foldtrace: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: foldtrace <events.jsonl> [--chrome OUT.json]");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("foldtrace: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let attrib = Attribution::from_jsonl(&text);
+    if attrib.total_ns() == 0 {
+        eprintln!(
+            "foldtrace: no span events in {path} — was the dump taken from \
+             an enabled obs domain doing real work?"
+        );
+        std::process::exit(1);
+    }
+    print!("{}", attrib.render());
+    if let Some(out) = chrome {
+        let events: Vec<Event> = text.lines().filter_map(Event::parse_json_line).collect();
+        if let Err(e) = std::fs::write(&out, ariesim_obs::attrib::chrome_trace(&events)) {
+            eprintln!("foldtrace: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {out} (load in chrome://tracing or Perfetto)");
+    }
+}

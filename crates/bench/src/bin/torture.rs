@@ -7,7 +7,7 @@
 //! reference output.
 //!
 //! Usage: `cargo run --release -p ariesim-bench --bin torture -- [--quick]
-//! [--verbose] [--seed=N]`
+//! [--verbose] [--progress] [--seed=N]`
 
 use ariesim_bench::torture::{list_points, run_torture, TortureConfig};
 
@@ -18,6 +18,7 @@ fn main() {
         match arg.as_str() {
             "--quick" => cfg.quick = true,
             "--verbose" | "-v" => cfg.verbose = true,
+            "--progress" => cfg.progress = true,
             "--list-points" => list_only = true,
             s if s.starts_with("--seed=") => match s["--seed=".len()..].parse() {
                 Ok(n) => cfg.seed = n,
@@ -28,11 +29,13 @@ fn main() {
             },
             "--help" | "-h" => {
                 println!(
-                    "torture [--quick] [--verbose] [--seed=N] [--list-points]\n\
+                    "torture [--quick] [--verbose] [--progress] [--seed=N] [--list-points]\n\
                      \n\
                      --quick        bounded enumeration for CI (first hit per point,\n\
                      \u{20}              forced-tail variants only for SMO windows)\n\
                      --verbose      one line per armed run\n\
+                     --progress     after the matrix, recover the crash image once\n\
+                     \u{20}              more with live phase/LSN/pages gauges printed\n\
                      --seed=N       workload seed (default 0x5eedca5e)\n\
                      --list-points  print `name hits` for every crash point the\n\
                      \u{20}              workload+recovery reaches, without arming any\n\

@@ -29,10 +29,12 @@ use ariesim_common::tmp::TempDir;
 use ariesim_common::{Error, Lsn, Result};
 use ariesim_db::{Db, DbOptions, FetchCond, Row};
 use ariesim_fault as fault;
+use ariesim_obs::{recovery_phase, Obs, ObsHandle};
 use ariesim_repl::ReplPair;
 use ariesim_wal::RecordKind;
 use std::collections::BTreeSet;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -343,6 +345,9 @@ pub struct TortureConfig {
     pub quick: bool,
     /// Print one line per run.
     pub verbose: bool,
+    /// After the matrix, recover the pristine crash image once more with
+    /// live progress gauges sampled to stdout (`--progress`).
+    pub progress: bool,
 }
 
 impl Default for TortureConfig {
@@ -351,6 +356,7 @@ impl Default for TortureConfig {
             seed: 0x5eed_ca5e,
             quick: false,
             verbose: false,
+            progress: false,
         }
     }
 }
@@ -604,6 +610,71 @@ pub fn list_points(cfg: &TortureConfig) -> Result<Vec<(String, u64)>> {
     Ok(points)
 }
 
+/// Print one progress line when the recovery gauges moved. The restart
+/// thread's gauge stores are relaxed and a sample may catch adjacent
+/// instants, so within one phase a sample that would step the redo LSN or
+/// page count *backwards* is discarded as stale — the printed sequence is
+/// monotone per phase by construction.
+fn print_recovery_sample(obs: &ObsHandle, last: &mut Option<(u64, u64, u64, u64, u64)>) {
+    let r = &obs.gauge.recovery;
+    let now = (
+        r.phase.last(),
+        r.current_lsn.last(),
+        r.target_lsn.last(),
+        r.pages_redone.last(),
+        r.losers_remaining.last(),
+    );
+    if let Some(prev) = *last {
+        if now == prev {
+            return;
+        }
+        if now.0 == prev.0 && (now.1 < prev.1 || now.3 < prev.3) {
+            return; // stale cross-gauge read within a phase
+        }
+    }
+    println!(
+        "    recovery: phase {:<8} lsn {}/{} pages_redone {} losers_remaining {}",
+        recovery_phase::name(now.0),
+        now.1,
+        now.2,
+        now.3,
+        now.4
+    );
+    *last = Some(now);
+}
+
+/// Recover a crash image once with an enabled obs domain, sampling the
+/// live recovery-progress gauges from a second thread (the `--progress`
+/// surface). A final synchronous sample guarantees at least one line even
+/// when recovery finishes between two sampler wakeups.
+pub fn recover_with_progress(image: &Path) -> Result<()> {
+    let obs = Obs::enabled(4096);
+    let stop = AtomicBool::new(false);
+    let db = std::thread::scope(|s| {
+        let sampler_obs = obs.clone();
+        let stop = &stop;
+        let sampler = s.spawn(move || {
+            let mut last = None;
+            while !stop.load(Ordering::Acquire) {
+                print_recovery_sample(&sampler_obs, &mut last);
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        });
+        let db = Db::open_with_obs(image, db_options(), obs.clone());
+        stop.store(true, Ordering::Release);
+        sampler.join().expect("progress sampler panicked");
+        db
+    })?;
+    print_recovery_sample(&obs, &mut None);
+    let mon = db.pool.obs().monitor.snapshot();
+    if !mon.clean() {
+        return Err(Error::Internal(format!(
+            "monitor violations during progress recovery: {mon:?}"
+        )));
+    }
+    Ok(())
+}
+
 /// Full torture run. Must not be called while holding [`fault::exclusive`]
 /// (the runner takes it itself).
 pub fn run_torture(cfg: &TortureConfig) -> Result<TortureReport> {
@@ -796,6 +867,14 @@ pub fn run_torture(cfg: &TortureConfig) -> Result<TortureReport> {
             }
             report.runs.push(run);
         }
+    }
+
+    // ---- Optional: one more recovery with live progress gauges -----------
+    if cfg.progress {
+        println!("  recovery progress over the pristine crash image:");
+        let d = scratch.path().join("rec-progress");
+        copy_dir(&pristine, &d)?;
+        recover_with_progress(&d)?;
     }
 
     report.elapsed = start.elapsed();

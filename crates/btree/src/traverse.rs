@@ -24,7 +24,7 @@ use ariesim_common::key::SearchKey;
 use ariesim_common::page::PageType;
 use ariesim_common::stats::Bump;
 use ariesim_common::{Error, Lsn, PageBuf, PageId, Result};
-use ariesim_obs::{lockdep, EventKind, ModeTag};
+use ariesim_obs::{lockdep, EventKind, ModeTag, SpanKind};
 use ariesim_storage::{PageReadGuard, PageWriteGuard};
 
 /// S-mode tree-latch guard; reports its release to the lockdep graph.
@@ -118,7 +118,9 @@ impl BTree {
         }
         self.stats.latch_tree_waits.bump();
         let wait = self.obs.timer();
+        let span = self.obs.span(SpanKind::LatchWait, 0, 0);
         drop(self.tree_latch.read_recursive());
+        drop(span);
         lockdep::released(lockdep::Class::TreeLatch);
         self.obs.hist.latch_wait_tree.record_since(wait);
     }
@@ -144,7 +146,9 @@ impl BTree {
         }
         self.stats.latch_tree_waits.bump();
         let wait = self.obs.timer();
+        let span = self.obs.span(SpanKind::LatchWait, 0, 0);
         let g = self.tree_latch.read_recursive();
+        drop(span);
         self.obs.hist.latch_wait_tree.record_since(wait);
         TreeSGuard(g)
     }
@@ -160,7 +164,9 @@ impl BTree {
         }
         self.stats.latch_tree_waits.bump();
         let wait = self.obs.timer();
+        let span = self.obs.span(SpanKind::LatchWait, 0, 0);
         let g = self.tree_latch.write();
+        drop(span);
         self.obs.hist.latch_wait_tree.record_since(wait);
         TreeXGuard(g)
     }

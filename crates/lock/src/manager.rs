@@ -28,7 +28,7 @@ use crate::name::LockName;
 use ariesim_common::stats::{Bump, StatsHandle};
 use ariesim_common::{Error, Result, TxnId};
 use ariesim_obs::lockdep;
-use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle};
+use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle, SpanKind};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
@@ -225,6 +225,7 @@ impl LockManager {
         self.obs
             .event(EventKind::LockWait, mode_tag(mode), txn.0, 0, name_tag(&name));
         let wait_timer = self.obs.timer();
+        let wait_span = self.obs.span(SpanKind::LockWait, txn.0, 0);
         self.stats.lock_waits.bump();
         let mut s = cell.state.lock();
         while *s == WaitOutcome::Waiting {
@@ -241,6 +242,7 @@ impl LockManager {
             }
         }
         drop(s);
+        drop(wait_span);
         lockdep::released(lockdep::Class::LockWait);
         self.obs.hist.lock_wait.record_since(wait_timer);
         self.note_grant(txn, &name, mode, duration);

@@ -1,0 +1,281 @@
+//! Offline time attribution: fold a trace (ring snapshot or JSONL dump)
+//! into per-transaction and aggregate breakdowns, and export spans in
+//! Chrome `trace_event` format for flamegraph-style inspection
+//! (`chrome://tracing` / Perfetto).
+//!
+//! The folder consumes only `SpanEnd` events: each carries its kind and
+//! exact self time in the `aux` word (see [`crate::span::pack_end_aux`]),
+//! so attribution stays correct even when the ring wrapped and the
+//! matching `SpanBegin` was overwritten. Completeness is tracked
+//! explicitly — a wrapped or torn ring makes the attribution say
+//! "incomplete" instead of silently under-reporting.
+
+use crate::span::{self, SpanKind, SPAN_KIND_COUNT, SPAN_NAMES};
+use crate::trace::{Event, EventKind, RingStats};
+use crate::{fmt_ns, json};
+use std::collections::BTreeMap;
+
+/// Folded attribution over one trace window.
+#[derive(Clone, Debug, Default)]
+pub struct Attribution {
+    /// Self nanoseconds per span kind, indexed by `SpanKind as usize`.
+    pub self_ns: [u64; SPAN_KIND_COUNT],
+    /// Completed spans per kind.
+    pub count: [u64; SPAN_KIND_COUNT],
+    /// Per-transaction self nanoseconds per kind (txn 0 collects spans
+    /// with no transaction context: latch waits, group flushes, ...).
+    pub per_txn: BTreeMap<u64, [u64; SPAN_KIND_COUNT]>,
+    /// Events lost to ring wrap in the source trace.
+    pub dropped: u64,
+    /// Slots lost to reader/writer races in the source trace.
+    pub torn: u64,
+}
+
+impl Attribution {
+    /// Fold a decoded event slice. Pass the ring stats (or dump header)
+    /// when available so completeness is carried through.
+    pub fn from_events(events: &[Event], stats: Option<&RingStats>) -> Attribution {
+        let mut a = Attribution {
+            dropped: stats.map_or(0, |s| s.dropped),
+            torn: stats.map_or(0, |s| s.torn),
+            ..Attribution::default()
+        };
+        for e in events {
+            if e.kind != EventKind::SpanEnd {
+                continue;
+            }
+            let Some(kind) = SpanKind::from_aux(e.aux) else {
+                continue;
+            };
+            let self_ns = span::self_ns_from_aux(e.aux);
+            a.self_ns[kind as usize] += self_ns;
+            a.count[kind as usize] += 1;
+            a.per_txn.entry(e.txn).or_default()[kind as usize] += self_ns;
+        }
+        a
+    }
+
+    /// Fold a JSONL dump produced by
+    /// [`EventRing::dump_jsonl`](crate::EventRing::dump_jsonl). Lines that
+    /// parse as neither a header nor an event are ignored.
+    pub fn from_jsonl(dump: &str) -> Attribution {
+        let mut stats = None;
+        let mut events = Vec::new();
+        for line in dump.lines() {
+            if let Some(e) = Event::parse_json_line(line) {
+                events.push(e);
+            } else if let Some(s) = RingStats::parse_json_line(line) {
+                stats = Some(s);
+            }
+        }
+        Attribution::from_events(&events, stats.as_ref())
+    }
+
+    /// Total self time across all kinds — the wall time covered by the
+    /// trace's outermost spans.
+    pub fn total_ns(&self) -> u64 {
+        self.self_ns.iter().sum()
+    }
+
+    /// Whether the source trace saw every recorded event.
+    pub fn complete(&self) -> bool {
+        self.dropped == 0 && self.torn == 0
+    }
+
+    /// Aggregate breakdown table plus the worst transactions by attributed
+    /// time, with an explicit warning when the trace was incomplete.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total = self.total_ns();
+        out.push_str(&format!(
+            "span attribution: {} self time over {} spans, {} transactions\n",
+            fmt_ns(total),
+            self.count.iter().sum::<u64>(),
+            self.per_txn.len(),
+        ));
+        for (i, name) in SPAN_NAMES.iter().enumerate() {
+            if self.count[i] == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<12} {:>6.1}% {:>12} n={}\n",
+                name,
+                100.0 * self.self_ns[i] as f64 / total.max(1) as f64,
+                fmt_ns(self.self_ns[i]),
+                self.count[i],
+            ));
+        }
+        let mut txns: Vec<(&u64, u64)> = self
+            .per_txn
+            .iter()
+            .filter(|&(&txn, _)| txn != 0)
+            .map(|(txn, by_kind)| (txn, by_kind.iter().sum::<u64>()))
+            .collect();
+        txns.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        for (txn, ns) in txns.iter().take(3) {
+            out.push_str(&format!("  slowest txn {}: {}\n", txn, fmt_ns(*ns)));
+        }
+        if !self.complete() {
+            out.push_str(&format!(
+                "  WARNING: attribution incomplete — {} events dropped, {} torn\n",
+                self.dropped, self.torn,
+            ));
+        }
+        out
+    }
+}
+
+/// Export a trace's spans as a Chrome `trace_event` JSON document
+/// (complete `"X"` events, timestamps in microseconds). Load the output in
+/// `chrome://tracing` or Perfetto. Begins whose end was lost (and ends
+/// whose begin wrapped out of the ring) are skipped.
+pub fn chrome_trace(events: &[Event]) -> String {
+    struct Open {
+        kind: SpanKind,
+        ts_ns: u64,
+        txn: u64,
+        page: u32,
+    }
+    let mut stacks: BTreeMap<u32, Vec<Open>> = BTreeMap::new();
+    let mut out = String::from("[");
+    let mut first = true;
+    for e in events {
+        match e.kind {
+            EventKind::SpanBegin => {
+                let Some(kind) = SpanKind::from_aux(e.aux) else {
+                    continue;
+                };
+                stacks.entry(e.thread).or_default().push(Open {
+                    kind,
+                    ts_ns: e.ts_ns,
+                    txn: e.txn,
+                    page: e.page,
+                });
+            }
+            EventKind::SpanEnd => {
+                let Some(kind) = SpanKind::from_aux(e.aux) else {
+                    continue;
+                };
+                let Some(stack) = stacks.get_mut(&e.thread) else {
+                    continue;
+                };
+                // The matching begin is the top of this thread's stack; a
+                // mismatch means the begin wrapped out of the ring.
+                let matches = stack.last().is_some_and(|o| o.kind == kind);
+                if !matches {
+                    continue;
+                }
+                let open = stack.pop().expect("just matched");
+                if first {
+                    first = false;
+                } else {
+                    out.push(',');
+                }
+                let mut o = json::Object::new();
+                o.field_str("name", kind.as_str());
+                o.field_str("cat", "span");
+                o.field_str("ph", "X");
+                o.field_u64("pid", 1);
+                o.field_u64("tid", e.thread as u64);
+                o.field_raw("ts", &format!("{:.3}", open.ts_ns as f64 / 1e3));
+                o.field_raw(
+                    "dur",
+                    &format!("{:.3}", e.ts_ns.saturating_sub(open.ts_ns) as f64 / 1e3),
+                );
+                let mut args = json::Object::new();
+                args.field_u64("txn", open.txn);
+                args.field_u64("page", open.page as u64);
+                args.field_u64("self_ns", span::self_ns_from_aux(e.aux));
+                o.field_raw("args", &args.finish());
+                out.push_str(&o.finish());
+            }
+            _ => {}
+        }
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Obs, SpanKind};
+
+    fn spanned_obs() -> crate::ObsHandle {
+        let obs = Obs::enabled(64);
+        {
+            let _outer = obs.span(SpanKind::UserWork, 7, 0);
+            let _inner = obs.span(SpanKind::WalFsync, 7, 0);
+        }
+        {
+            let _g = obs.span(SpanKind::LockWait, 8, 3);
+        }
+        obs
+    }
+
+    #[test]
+    fn fold_matches_span_totals() {
+        let obs = spanned_obs();
+        let (events, stats) = obs.ring.snapshot_with_stats();
+        let a = Attribution::from_events(&events, Some(&stats));
+        let s = obs.spans.snapshot();
+        assert_eq!(a.self_ns, s.self_ns);
+        assert_eq!(a.count, s.count);
+        assert_eq!(a.total_ns(), s.total_ns());
+        assert!(a.complete());
+        assert_eq!(a.per_txn.len(), 2);
+        let t7 = a.per_txn[&7];
+        assert_eq!(
+            t7[SpanKind::UserWork as usize] + t7[SpanKind::WalFsync as usize],
+            t7.iter().sum::<u64>(),
+        );
+    }
+
+    #[test]
+    fn fold_from_jsonl_dump() {
+        let obs = spanned_obs();
+        let a = Attribution::from_jsonl(&obs.ring.dump_jsonl());
+        assert_eq!(a.self_ns, obs.spans.snapshot().self_ns);
+        assert!(a.complete());
+        let text = a.render();
+        assert!(text.contains("user_work"));
+        assert!(text.contains("wal_fsync"));
+        assert!(!text.contains("WARNING"));
+    }
+
+    #[test]
+    fn wrapped_ring_reports_incomplete() {
+        let obs = Obs::enabled(8);
+        for _ in 0..16 {
+            let _g = obs.span(SpanKind::Apply, 1, 0);
+        }
+        let a = Attribution::from_jsonl(&obs.ring.dump_jsonl());
+        assert!(!a.complete());
+        assert!(a.dropped > 0);
+        assert!(a.render().contains("WARNING"));
+        // Ends without resident begins still attribute exactly.
+        assert!(a.count[SpanKind::Apply as usize] > 0);
+    }
+
+    #[test]
+    fn chrome_trace_pairs_spans() {
+        let obs = spanned_obs();
+        let trace = chrome_trace(&obs.ring.snapshot());
+        let v = json::parse(&trace).expect("valid JSON array");
+        let json::JsonValue::Array(items) = v else {
+            panic!("expected array");
+        };
+        assert_eq!(items.len(), 3);
+        let names: Vec<_> = items
+            .iter()
+            .map(|i| i.get("name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert!(names.contains(&"user_work".to_string()));
+        assert!(names.contains(&"wal_fsync".to_string()));
+        assert!(names.contains(&"lock_wait".to_string()));
+        for i in &items {
+            assert_eq!(i.get("ph").unwrap().as_str(), Some("X"));
+            assert!(i.get("args").unwrap().get("txn").unwrap().as_u64().is_some());
+        }
+    }
+}

@@ -34,13 +34,14 @@ impl Default for LatencyHistogram {
 
 /// Log2 bucket index for a duration in nanoseconds.
 #[inline]
-fn bucket_of(ns: u64) -> usize {
+pub fn bucket_of(ns: u64) -> usize {
     63 - ns.max(1).leading_zeros() as usize
 }
 
-/// Inclusive upper bound (ns) of bucket `i`, used as its representative.
+/// Inclusive upper bound (ns) of bucket `i`, used as its representative
+/// (and as the `le` bound in Prometheus exposition).
 #[inline]
-fn bucket_top(i: usize) -> u64 {
+pub fn bucket_top(i: usize) -> u64 {
     if i >= 63 {
         u64::MAX
     } else {
@@ -234,6 +235,40 @@ mod tests {
     fn empty_histogram_is_all_zero() {
         let s = LatencyHistogram::default().snapshot();
         assert_eq!((s.count, s.p50(), s.p99(), s.max()), (0, 0, 0, 0));
+        assert_eq!(s.quantile_ns(0.0), 0);
+        assert_eq!(s.quantile_ns(1.0), 0);
+        assert_eq!(s.mean_ns(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = LatencyHistogram::default();
+        h.record_ns(700);
+        let s = h.snapshot();
+        // One sample: every quantile is that sample (the true max caps the
+        // bucket-top answer of 1023).
+        assert_eq!(s.quantile_ns(0.0), 700);
+        assert_eq!(s.p50(), 700);
+        assert_eq!(s.p99(), 700);
+        assert_eq!(s.quantile_ns(1.0), 700);
+        assert_eq!(s.mean_ns(), 700);
+    }
+
+    #[test]
+    fn saturating_bucket_keeps_quantiles_finite() {
+        let h = LatencyHistogram::default();
+        h.record_ns(u64::MAX); // lands in the last bucket (i = 63)
+        h.record_ns(u64::MAX - 1);
+        let s = h.snapshot();
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_top(BUCKETS - 1), u64::MAX);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50(), u64::MAX);
+        assert_eq!(s.p99(), u64::MAX);
+        assert_eq!(s.max(), u64::MAX);
+        // Out-of-range q is clamped to a valid rank, not a panic.
+        assert_eq!(s.quantile_ns(2.0), u64::MAX);
+        assert_eq!(s.quantile_ns(-1.0), u64::MAX);
     }
 
     #[test]

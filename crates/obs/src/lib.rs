@@ -18,15 +18,21 @@
 //! branch on a `bool`. Invariant monitoring is always on — it is the
 //! cheapest pillar (a thread-local increment) and the most valuable one.
 
+pub mod attrib;
 pub mod hist;
 pub mod json;
 pub mod lockdep;
 pub mod monitor;
+pub mod registry;
+pub mod span;
 pub mod trace;
 
+pub use attrib::Attribution;
 pub use hist::{fmt_ns, Gauge, HistogramSnapshot, LatencyHistogram};
 pub use monitor::{current_latch_depth, Monitor, MonitorSnapshot, MAX_LATCH_DEPTH};
-pub use trace::{Event, EventKind, EventRing, ModeTag};
+pub use registry::{MetricValue, MetricsRegistry};
+pub use span::{SpanGuard, SpanKind, SpanSnapshot, SpanTotals, SPAN_KIND_COUNT, SPAN_NAMES};
+pub use trace::{Event, EventKind, EventRing, ModeTag, RingStats};
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -88,13 +94,95 @@ impl Histograms {
     }
 }
 
+/// Replication lag with explicit units.
+///
+/// Watermark semantics: the primary's *durable end* is the LSN up to which
+/// the log is fsynced and therefore shippable; the standby's *applied LSN*
+/// is the watermark below which every record has been redone into its
+/// buffer pool (reads at or below it see a consistent prefix). Lag is
+/// `durable_end - applied`, published in two units so consumers never have
+/// to guess: `bytes` of log and `lsn_delta` in LSN units. In this engine an
+/// LSN *is* a byte offset into the log, so the two gauges currently
+/// coincide numerically — carrying both keeps the exposition honest if the
+/// LSN mapping ever changes (e.g. sharded or compressed logs).
+#[derive(Default)]
+pub struct ReplLag {
+    /// Bytes of durable primary log the standby has not yet applied.
+    pub bytes: Gauge,
+    /// The same lag as an LSN delta (`durable_end_lsn - applied_lsn`).
+    pub lsn_delta: Gauge,
+}
+
+impl ReplLag {
+    /// Set both units from the two watermarks (see the type-level doc).
+    pub fn set_watermarks(&self, durable_end_lsn: u64, applied_lsn: u64) {
+        let lag = durable_end_lsn.saturating_sub(applied_lsn);
+        self.bytes.set(lag);
+        self.lsn_delta.set(lag);
+    }
+
+    pub fn reset(&self) {
+        self.bytes.reset();
+        self.lsn_delta.reset();
+    }
+}
+
+/// Restart-recovery phases as published by the `recovery_phase` gauge.
+pub mod recovery_phase {
+    pub const IDLE: u64 = 0;
+    pub const ANALYSIS: u64 = 1;
+    pub const REDO: u64 = 2;
+    pub const UNDO: u64 = 3;
+    pub const COMPLETE: u64 = 4;
+
+    pub fn name(v: u64) -> &'static str {
+        match v {
+            ANALYSIS => "analysis",
+            REDO => "redo",
+            UNDO => "undo",
+            COMPLETE => "complete",
+            _ => "idle",
+        }
+    }
+}
+
+/// Live restart-recovery progress, written by `recovery::restart` as it
+/// scans and sampled by progress watchers (`torture --progress`). All
+/// gauges are relaxed stores; a sampler may see the phase and LSN from
+/// adjacent instants, so it should tolerate small inconsistencies.
+#[derive(Default)]
+pub struct RecoveryProgress {
+    /// Current phase (see [`recovery_phase`]).
+    pub phase: Gauge,
+    /// LSN the current pass has reached.
+    pub current_lsn: Gauge,
+    /// LSN the pass is driving toward (end of log).
+    pub target_lsn: Gauge,
+    /// Pages to which redo has actually been applied so far.
+    pub pages_redone: Gauge,
+    /// Loser transactions still to be rolled back in the undo pass.
+    pub losers_remaining: Gauge,
+}
+
+impl RecoveryProgress {
+    pub fn reset(&self) {
+        self.phase.reset();
+        self.current_lsn.reset();
+        self.target_lsn.reset();
+        self.pages_redone.reset();
+        self.losers_remaining.reset();
+    }
+}
+
 /// Instantaneous gauges kept by an [`Obs`]. Unlike the histograms these
 /// are always live (a gauge `set` is two relaxed stores): replication lag
-/// is an operational signal, not a profiling one.
+/// and recovery progress are operational signals, not profiling ones.
 #[derive(Default)]
 pub struct Gauges {
-    /// Bytes of durable primary log a standby has not yet applied.
-    pub repl_lag_bytes: Gauge,
+    /// Standby replication lag (bytes and LSN delta; see [`ReplLag`]).
+    pub repl_lag: ReplLag,
+    /// Restart-recovery progress (see [`RecoveryProgress`]).
+    pub recovery: RecoveryProgress,
 }
 
 /// One observability domain: histograms + gauges + event ring + invariant
@@ -103,6 +191,8 @@ pub struct Obs {
     enabled: bool,
     pub hist: Histograms,
     pub gauge: Gauges,
+    /// Exact per-kind span self-time totals (see [`span`]).
+    pub spans: SpanTotals,
     pub ring: EventRing,
     pub monitor: Monitor,
 }
@@ -119,6 +209,7 @@ impl Obs {
             enabled: false,
             hist: Histograms::default(),
             gauge: Gauges::default(),
+            spans: SpanTotals::default(),
             ring: EventRing::new(8),
             monitor: Monitor::default(),
         })
@@ -130,6 +221,7 @@ impl Obs {
             enabled: true,
             hist: Histograms::default(),
             gauge: Gauges::default(),
+            spans: SpanTotals::default(),
             ring: EventRing::new(ring_capacity),
             monitor: Monitor::default(),
         })
@@ -160,13 +252,23 @@ impl Obs {
         }
     }
 
-    /// Reset histograms and the event ring (monitor counters persist —
-    /// a past violation should not be erasable between report windows).
+    /// Open an attribution span (see [`span`]). The returned guard closes
+    /// the span when dropped; on a disabled handle it is an inert value.
+    #[inline]
+    pub fn span(&self, kind: SpanKind, txn: u64, page: u32) -> SpanGuard<'_> {
+        span::begin(self, kind, txn, page)
+    }
+
+    /// Reset histograms, gauges, span totals, and the event ring (monitor
+    /// counters persist — a past violation should not be erasable between
+    /// report windows).
     pub fn reset(&self) {
         for (_, h) in self.hist.named() {
             h.reset();
         }
-        self.gauge.repl_lag_bytes.reset();
+        self.gauge.repl_lag.reset();
+        self.gauge.recovery.reset();
+        self.spans.reset();
         self.ring.reset();
     }
 
@@ -194,12 +296,45 @@ impl Obs {
                 fmt_ns(s.mean_ns()),
             ));
         }
-        let lag = &self.gauge.repl_lag_bytes;
-        if lag.max() != 0 {
+        let spans = self.spans.snapshot();
+        if !spans.is_empty() {
+            let total = spans.total_ns().max(1);
             out.push_str(&format!(
-                "repl lag: {} bytes now, {} bytes max\n",
-                lag.last(),
-                lag.max(),
+                "{:<18} {:>10} {:>12} {:>7}\n",
+                "span", "count", "self", "share"
+            ));
+            for (name, self_ns, count) in spans.named() {
+                if count == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{:<18} {:>10} {:>12} {:>6.1}%\n",
+                    name,
+                    count,
+                    fmt_ns(self_ns),
+                    100.0 * self_ns as f64 / total as f64,
+                ));
+            }
+        }
+        let lag = &self.gauge.repl_lag;
+        if lag.bytes.max() != 0 {
+            out.push_str(&format!(
+                "repl lag: {} bytes now, {} bytes max (lsn delta {} now, {} max)\n",
+                lag.bytes.last(),
+                lag.bytes.max(),
+                lag.lsn_delta.last(),
+                lag.lsn_delta.max(),
+            ));
+        }
+        let rec = &self.gauge.recovery;
+        if rec.phase.max() != 0 {
+            out.push_str(&format!(
+                "recovery: phase {} lsn {}/{} pages redone {} losers remaining {}\n",
+                recovery_phase::name(rec.phase.last()),
+                rec.current_lsn.last(),
+                rec.target_lsn.last(),
+                rec.pages_redone.last(),
+                rec.losers_remaining.last(),
             ));
         }
         let m = self.monitor.snapshot();
@@ -215,12 +350,20 @@ impl Obs {
             m.redo_traversal_violations,
             if m.clean() { "CLEAN" } else { "VIOLATED" },
         ));
+        let (_, rs) = self.ring.snapshot_with_stats();
         out.push_str(&format!(
-            "event ring: {} events recorded, {} resident (capacity {})\n",
-            self.ring.recorded(),
-            self.ring.snapshot().len(),
-            self.ring.capacity(),
+            "event ring: {} events recorded, {} resident (capacity {}), \
+             {} dropped, {} torn\n",
+            rs.recorded, rs.resident, rs.capacity, rs.dropped, rs.torn,
         ));
+        if !rs.complete() {
+            out.push_str(&format!(
+                "WARNING: event ring wrapped ({} events dropped, {} torn) — \
+                 ring-derived attribution is incomplete (span totals above \
+                 remain exact)\n",
+                rs.dropped, rs.torn,
+            ));
+        }
         out
     }
 
@@ -251,11 +394,35 @@ impl Obs {
         hists.push('}');
         root.field_raw("histograms", &hists);
 
+        let spans = self.spans.snapshot();
+        let mut so = json::Object::new();
+        for (name, self_ns, count) in spans.named() {
+            let mut sp = json::Object::new();
+            sp.field_u64("self_ns", self_ns);
+            sp.field_u64("count", count);
+            so.field_raw(name, &sp.finish());
+        }
+        root.field_raw("spans", &so.finish());
+
+        let gauge_pair = |g: &Gauge| {
+            let mut o = json::Object::new();
+            o.field_u64("last", g.last());
+            o.field_u64("max", g.max());
+            o.finish()
+        };
         let mut go = json::Object::new();
         let mut lg = json::Object::new();
-        lg.field_u64("last", self.gauge.repl_lag_bytes.last());
-        lg.field_u64("max", self.gauge.repl_lag_bytes.max());
-        go.field_raw("repl_lag_bytes", &lg.finish());
+        lg.field_raw("bytes", &gauge_pair(&self.gauge.repl_lag.bytes));
+        lg.field_raw("lsn_delta", &gauge_pair(&self.gauge.repl_lag.lsn_delta));
+        go.field_raw("repl_lag", &lg.finish());
+        let rec = &self.gauge.recovery;
+        let mut rg = json::Object::new();
+        rg.field_raw("phase", &gauge_pair(&rec.phase));
+        rg.field_raw("current_lsn", &gauge_pair(&rec.current_lsn));
+        rg.field_raw("target_lsn", &gauge_pair(&rec.target_lsn));
+        rg.field_raw("pages_redone", &gauge_pair(&rec.pages_redone));
+        rg.field_raw("losers_remaining", &gauge_pair(&rec.losers_remaining));
+        go.field_raw("recovery", &rg.finish());
         root.field_raw("gauges", &go.finish());
 
         let m = self.monitor.snapshot();
@@ -271,9 +438,12 @@ impl Obs {
         mo.field_bool("clean", m.clean());
         root.field_raw("monitor", &mo.finish());
 
+        let (_, rs) = self.ring.snapshot_with_stats();
         let mut ro = json::Object::new();
-        ro.field_u64("recorded", self.ring.recorded());
-        ro.field_u64("capacity", self.ring.capacity() as u64);
+        ro.field_u64("recorded", rs.recorded);
+        ro.field_u64("capacity", rs.capacity);
+        ro.field_u64("dropped", rs.dropped);
+        ro.field_u64("torn", rs.torn);
         root.field_raw("ring", &ro.finish());
         root.finish()
     }

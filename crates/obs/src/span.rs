@@ -1,0 +1,344 @@
+//! Span-based time attribution.
+//!
+//! A span is a scoped region of wall time tagged with a [`SpanKind`]
+//! (lock wait, latch wait, WAL append, fsync, page I/O, standby apply, or
+//! user work). Spans nest on a per-thread stack; when a guard drops, its
+//! **self time** — elapsed time minus the time spent inside child spans —
+//! is added to the owning [`Obs`](crate::Obs)'s [`SpanTotals`] and a
+//! `SpanEnd` event carrying the self time is pushed into the event ring.
+//! Because self times never double-count nested work, the sum of all span
+//! self times over a window equals the wall time covered by the outermost
+//! spans: wrap every foreground operation in a `UserWork` span and the
+//! per-kind totals become a complete breakdown of where the time went.
+//!
+//! The hot path is lock-free: a thread-local `Vec` push/pop, two ring
+//! pushes, and two relaxed atomic adds. A disabled `Obs` hands out a
+//! disarmed guard whose `Drop` is a single branch.
+//!
+//! Balance under panic is guaranteed by RAII: unwinding drops the guard,
+//! which pops the stack frame it pushed. Spans from *different* `Obs`
+//! domains may nest on one thread (e.g. a primary-domain `UserWork` span
+//! around a standby-domain read); child-time subtraction still applies —
+//! each guard records into its own domain, so a domain's totals only
+//! include time its own spans claimed as self time.
+
+use crate::trace::{EventKind, ModeTag};
+use crate::Obs;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// What a span attributes its self time to. Discriminants are stable;
+/// they appear in `SpanBegin`/`SpanEnd` event payloads and JSONL dumps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// Blocked in an unconditional lock wait.
+    LockWait = 0,
+    /// Blocked acquiring a page or tree latch.
+    LatchWait = 1,
+    /// Appending a record to the WAL (serialization + buffer copy, under
+    /// the log mutex).
+    WalAppend = 2,
+    /// Forcing the WAL to durable storage (write + fsync).
+    WalFsync = 3,
+    /// Reading a page from disk into the buffer pool.
+    PageRead = 4,
+    /// Writing a dirty page from the buffer pool to disk.
+    PageWrite = 5,
+    /// Applying redo on a standby or during restart recovery.
+    Apply = 6,
+    /// Foreground work not otherwise attributed; wrap whole operations in
+    /// this so the breakdown sums to wall time.
+    UserWork = 7,
+}
+
+/// Number of span kinds; sizes the arrays in [`SpanTotals`].
+pub const SPAN_KIND_COUNT: usize = 8;
+
+/// Stable snake_case names, indexed by `SpanKind as usize`.
+pub const SPAN_NAMES: [&str; SPAN_KIND_COUNT] = [
+    "lock_wait",
+    "latch_wait",
+    "wal_append",
+    "wal_fsync",
+    "page_read",
+    "page_write",
+    "apply",
+    "user_work",
+];
+
+/// Self time is packed into the high 56 bits of a `SpanEnd` event's `aux`
+/// word (the low 8 bits carry the kind), so it saturates at ~2.3 years.
+pub const MAX_PACKED_SELF_NS: u64 = (1 << 56) - 1;
+
+impl SpanKind {
+    pub fn as_str(self) -> &'static str {
+        SPAN_NAMES[self as usize]
+    }
+
+    pub fn from_u8(v: u8) -> Option<SpanKind> {
+        Some(match v {
+            0 => SpanKind::LockWait,
+            1 => SpanKind::LatchWait,
+            2 => SpanKind::WalAppend,
+            3 => SpanKind::WalFsync,
+            4 => SpanKind::PageRead,
+            5 => SpanKind::PageWrite,
+            6 => SpanKind::Apply,
+            7 => SpanKind::UserWork,
+            _ => return None,
+        })
+    }
+
+    /// Decode the kind from a `SpanBegin`/`SpanEnd` event's `aux` word.
+    pub fn from_aux(aux: u64) -> Option<SpanKind> {
+        SpanKind::from_u8((aux & 0xff) as u8)
+    }
+}
+
+/// Extract the packed self time from a `SpanEnd` event's `aux` word.
+pub fn self_ns_from_aux(aux: u64) -> u64 {
+    aux >> 8
+}
+
+/// Pack a kind and self time into a `SpanEnd` `aux` word.
+pub fn pack_end_aux(kind: SpanKind, self_ns: u64) -> u64 {
+    (self_ns.min(MAX_PACKED_SELF_NS) << 8) | kind as u64
+}
+
+/// Exact per-kind self-time totals, independent of ring capacity: even when
+/// the event ring wraps, these counters hold the complete attribution.
+#[derive(Default)]
+pub struct SpanTotals {
+    self_ns: [AtomicU64; SPAN_KIND_COUNT],
+    count: [AtomicU64; SPAN_KIND_COUNT],
+}
+
+impl SpanTotals {
+    fn add(&self, kind: SpanKind, self_ns: u64) {
+        self.self_ns[kind as usize].fetch_add(self_ns, Ordering::Relaxed);
+        self.count[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> SpanSnapshot {
+        SpanSnapshot {
+            self_ns: std::array::from_fn(|i| self.self_ns[i].load(Ordering::Relaxed)),
+            count: std::array::from_fn(|i| self.count[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    pub fn reset(&self) {
+        for i in 0..SPAN_KIND_COUNT {
+            self.self_ns[i].store(0, Ordering::Relaxed);
+            self.count[i].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time copy of [`SpanTotals`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Self nanoseconds per kind, indexed by `SpanKind as usize`.
+    pub self_ns: [u64; SPAN_KIND_COUNT],
+    /// Completed spans per kind.
+    pub count: [u64; SPAN_KIND_COUNT],
+}
+
+impl SpanSnapshot {
+    /// Stable (name, self_ns, count) rows in discriminant order.
+    pub fn named(&self) -> [(&'static str, u64, u64); SPAN_KIND_COUNT] {
+        std::array::from_fn(|i| (SPAN_NAMES[i], self.self_ns[i], self.count[i]))
+    }
+
+    /// Total self time across all kinds — the wall time covered by the
+    /// outermost spans.
+    pub fn total_ns(&self) -> u64 {
+        self.self_ns.iter().sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count.iter().all(|&c| c == 0)
+    }
+}
+
+struct Frame {
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Current span-nesting depth on this thread. Exposed for balance tests.
+#[doc(hidden)]
+pub fn stack_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// RAII guard for one span; see [`Obs::span`](crate::Obs::span). Dropping
+/// it (normally or during unwind) closes the span and records its self
+/// time.
+pub struct SpanGuard<'a> {
+    armed: Option<(&'a Obs, Instant)>,
+    kind: SpanKind,
+    txn: u64,
+    page: u32,
+}
+
+pub(crate) fn begin(obs: &Obs, kind: SpanKind, txn: u64, page: u32) -> SpanGuard<'_> {
+    if !obs.on() {
+        return SpanGuard {
+            armed: None,
+            kind,
+            txn,
+            page,
+        };
+    }
+    STACK.with(|s| s.borrow_mut().push(Frame { child_ns: 0 }));
+    obs.ring
+        .push(EventKind::SpanBegin, ModeTag::None, txn, page, kind as u64);
+    SpanGuard {
+        armed: Some((obs, Instant::now())),
+        kind,
+        txn,
+        page,
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some((obs, start)) = self.armed.take() else {
+            return;
+        };
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let self_ns = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let child_ns = s.pop().map_or(0, |f| f.child_ns);
+            if let Some(parent) = s.last_mut() {
+                parent.child_ns = parent.child_ns.saturating_add(elapsed);
+            }
+            elapsed.saturating_sub(child_ns)
+        });
+        obs.spans.add(self.kind, self_ns);
+        obs.ring.push(
+            EventKind::SpanEnd,
+            ModeTag::None,
+            self.txn,
+            self.page,
+            pack_end_aux(self.kind, self_ns),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let obs = Obs::disabled();
+        {
+            let _g = obs.span(SpanKind::UserWork, 1, 0);
+            assert_eq!(stack_depth(), 0);
+        }
+        assert_eq!(obs.ring.recorded(), 0);
+        assert!(obs.spans.snapshot().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_subtract_child_time() {
+        let obs = Obs::enabled(64);
+        {
+            let _outer = obs.span(SpanKind::UserWork, 1, 0);
+            std::thread::sleep(Duration::from_millis(4));
+            {
+                let _inner = obs.span(SpanKind::WalFsync, 1, 0);
+                std::thread::sleep(Duration::from_millis(8));
+            }
+        }
+        let s = obs.spans.snapshot();
+        let user = s.self_ns[SpanKind::UserWork as usize];
+        let fsync = s.self_ns[SpanKind::WalFsync as usize];
+        assert_eq!(s.count[SpanKind::UserWork as usize], 1);
+        assert_eq!(s.count[SpanKind::WalFsync as usize], 1);
+        assert!(fsync >= 8_000_000, "inner self time too small: {fsync}");
+        // Outer self time excludes the inner span's 8 ms entirely.
+        assert!(user >= 4_000_000, "outer self time too small: {user}");
+        assert!(user < fsync, "outer ({user}) should exclude inner ({fsync})");
+        // Sum of self times == wall time of the outer span (within drop
+        // overhead, which the outer span absorbs as its own self time).
+        assert_eq!(s.total_ns(), user + fsync);
+    }
+
+    #[test]
+    fn end_events_carry_packed_self_time() {
+        let obs = Obs::enabled(64);
+        {
+            let _g = obs.span(SpanKind::PageRead, 7, 42);
+        }
+        let evs = obs.ring.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, EventKind::SpanBegin);
+        assert_eq!(SpanKind::from_aux(evs[0].aux), Some(SpanKind::PageRead));
+        assert_eq!(evs[1].kind, EventKind::SpanEnd);
+        assert_eq!(evs[1].txn, 7);
+        assert_eq!(evs[1].page, 42);
+        assert_eq!(SpanKind::from_aux(evs[1].aux), Some(SpanKind::PageRead));
+        let packed = self_ns_from_aux(evs[1].aux);
+        let total = obs.spans.snapshot().self_ns[SpanKind::PageRead as usize];
+        assert_eq!(packed, total);
+    }
+
+    #[test]
+    fn stack_balances_across_panic_unwind() {
+        let obs = Obs::enabled(64);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = obs.span(SpanKind::UserWork, 1, 0);
+            let _inner = obs.span(SpanKind::LockWait, 1, 0);
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert_eq!(stack_depth(), 0, "unwind must pop every frame");
+        let s = obs.spans.snapshot();
+        assert_eq!(s.count[SpanKind::UserWork as usize], 1);
+        assert_eq!(s.count[SpanKind::LockWait as usize], 1);
+        // A fresh span on the same thread still nests correctly.
+        {
+            let _g = obs.span(SpanKind::Apply, 2, 0);
+            assert_eq!(stack_depth(), 1);
+        }
+        assert_eq!(stack_depth(), 0);
+    }
+
+    #[test]
+    fn spans_on_many_threads_accumulate() {
+        let obs = Obs::enabled(1024);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let obs = &obs;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let _g = obs.span(SpanKind::UserWork, t, 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.spans.snapshot().count[SpanKind::UserWork as usize], 200);
+    }
+
+    #[test]
+    fn kind_roundtrips() {
+        for i in 0..SPAN_KIND_COUNT as u8 {
+            let k = SpanKind::from_u8(i).unwrap();
+            assert_eq!(k as u8, i);
+            assert_eq!(SPAN_NAMES[i as usize], k.as_str());
+        }
+        assert_eq!(SpanKind::from_u8(8), None);
+        let aux = pack_end_aux(SpanKind::WalFsync, u64::MAX);
+        assert_eq!(self_ns_from_aux(aux), MAX_PACKED_SELF_NS);
+        assert_eq!(SpanKind::from_aux(aux), Some(SpanKind::WalFsync));
+    }
+}

@@ -42,6 +42,12 @@ pub enum EventKind {
     ClrWrite = 9,
     /// A tree latch was acquired (`mode`; `page` unused).
     TreeLatchAcquire = 10,
+    /// An attribution span opened (`aux` = [`SpanKind`](crate::SpanKind)
+    /// discriminant).
+    SpanBegin = 11,
+    /// An attribution span closed (`aux` = kind in the low 8 bits, self
+    /// nanoseconds in the high 56; see [`crate::span::pack_end_aux`]).
+    SpanEnd = 12,
 }
 
 impl EventKind {
@@ -58,6 +64,8 @@ impl EventKind {
             EventKind::LogForce => "log_force",
             EventKind::ClrWrite => "clr_write",
             EventKind::TreeLatchAcquire => "tree_latch_acquire",
+            EventKind::SpanBegin => "span_begin",
+            EventKind::SpanEnd => "span_end",
         }
     }
 
@@ -74,6 +82,8 @@ impl EventKind {
             "log_force" => EventKind::LogForce,
             "clr_write" => EventKind::ClrWrite,
             "tree_latch_acquire" => EventKind::TreeLatchAcquire,
+            "span_begin" => EventKind::SpanBegin,
+            "span_end" => EventKind::SpanEnd,
             _ => return None,
         })
     }
@@ -91,6 +101,8 @@ impl EventKind {
             8 => EventKind::LogForce,
             9 => EventKind::ClrWrite,
             10 => EventKind::TreeLatchAcquire,
+            11 => EventKind::SpanBegin,
+            12 => EventKind::SpanEnd,
             _ => return None,
         })
     }
@@ -217,21 +229,37 @@ impl EventRing {
     /// Copy out every resident, fully-published event, oldest first.
     /// Events being overwritten during the copy are skipped, not torn.
     pub fn snapshot(&self) -> Vec<Event> {
+        self.snapshot_with_stats().0
+    }
+
+    /// [`snapshot`](Self::snapshot) plus a [`RingStats`] accounting for
+    /// what the snapshot could *not* see: events overwritten by ring wrap
+    /// and slots skipped because a writer raced the copy. Attribution
+    /// layers use this to say "incomplete" instead of silently
+    /// under-reporting.
+    pub fn snapshot_with_stats(&self) -> (Vec<Event>, RingStats) {
         let mut out = Vec::with_capacity(self.slots.len());
+        let mut torn = 0u64;
         for slot in &self.slots {
             let s1 = slot.seq.load(Ordering::Acquire);
-            if s1 == 0 || s1 % 2 == 1 {
-                continue; // never written, or mid-write
+            if s1 == 0 {
+                continue; // never written
+            }
+            if s1 % 2 == 1 {
+                torn += 1; // mid-write
+                continue;
             }
             let words: [u64; SLOT_WORDS] =
                 std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
             let s2 = slot.seq.load(Ordering::Acquire);
             if s1 != s2 {
-                continue; // overwritten while copying
+                torn += 1; // overwritten while copying
+                continue;
             }
             let seq = (s1 - 2) / 2;
             let meta = words[1];
             let Some(kind) = EventKind::from_u8((meta >> 8) as u8) else {
+                torn += 1; // undecodable kind: treat as a torn slot
                 continue;
             };
             out.push(Event {
@@ -246,13 +274,26 @@ impl EventRing {
             });
         }
         out.sort_by_key(|e| e.seq);
-        out
+        let recorded = self.recorded();
+        let stats = RingStats {
+            recorded,
+            capacity: self.capacity() as u64,
+            resident: out.len() as u64,
+            dropped: recorded.saturating_sub(self.capacity() as u64),
+            torn,
+        };
+        (out, stats)
     }
 
-    /// Dump the resident events as JSON Lines.
+    /// Dump the resident events as JSON Lines, preceded by a header line
+    /// (see [`RingStats::to_json_line`]) stating how many events the dump
+    /// is missing. Consumers that only want events can skip any line that
+    /// [`Event::parse_json_line`] rejects.
     pub fn dump_jsonl(&self) -> String {
-        let mut out = String::new();
-        for e in self.snapshot() {
+        let (events, stats) = self.snapshot_with_stats();
+        let mut out = stats.to_json_line();
+        out.push('\n');
+        for e in events {
             out.push_str(&e.to_json_line());
             out.push('\n');
         }
@@ -265,6 +306,57 @@ impl EventRing {
         for s in &self.slots {
             s.seq.store(0, Ordering::Relaxed);
         }
+    }
+}
+
+/// Completeness accounting for one ring snapshot/dump.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Events ever pushed into the ring.
+    pub recorded: u64,
+    /// Ring capacity in slots.
+    pub capacity: u64,
+    /// Events the snapshot actually returned.
+    pub resident: u64,
+    /// Events lost to ring wrap (`recorded - capacity`, clamped at 0).
+    pub dropped: u64,
+    /// Slots skipped because a writer raced the copy (mid-write or
+    /// overwritten while copying).
+    pub torn: u64,
+}
+
+impl RingStats {
+    /// Whether the snapshot saw every event ever recorded.
+    pub fn complete(&self) -> bool {
+        self.dropped == 0 && self.torn == 0
+    }
+
+    /// The JSONL dump header line.
+    pub fn to_json_line(&self) -> String {
+        let mut o = json::Object::new();
+        o.field_str("trace", "ariesim-events-v1");
+        o.field_u64("recorded", self.recorded);
+        o.field_u64("capacity", self.capacity);
+        o.field_u64("resident", self.resident);
+        o.field_u64("dropped", self.dropped);
+        o.field_u64("torn", self.torn);
+        o.finish()
+    }
+
+    /// Parse a dump header line; `None` if the line is not a header.
+    pub fn parse_json_line(line: &str) -> Option<RingStats> {
+        let v = json::parse(line)?;
+        if v.get("trace")?.as_str() != Some("ariesim-events-v1") {
+            return None;
+        }
+        let get = |k: &str| v.get(k).and_then(JsonValue::as_u64);
+        Some(RingStats {
+            recorded: get("recorded")?,
+            capacity: get("capacity")?,
+            resident: get("resident")?,
+            dropped: get("dropped")?,
+            torn: get("torn")?,
+        })
     }
 }
 
@@ -354,11 +446,44 @@ mod tests {
         r.push(EventKind::SmoBegin, ModeTag::X, 9, 4, 0);
         r.push(EventKind::ClrWrite, ModeTag::None, 9, 0, 12345);
         let dump = r.dump_jsonl();
+        let header = RingStats::parse_json_line(dump.lines().next().unwrap())
+            .expect("first line is the header");
+        assert_eq!(header.resident, 2);
+        assert!(header.complete());
         let parsed: Vec<Event> = dump
             .lines()
+            .skip(1)
             .map(|l| Event::parse_json_line(l).expect("parses"))
             .collect();
         assert_eq!(parsed, r.snapshot());
+        // The header line is not itself a parseable event.
+        assert!(Event::parse_json_line(dump.lines().next().unwrap()).is_none());
+    }
+
+    #[test]
+    fn wrap_reports_dropped_events() {
+        let r = EventRing::new(8);
+        for i in 0..20u64 {
+            r.push(EventKind::LogForce, ModeTag::None, 0, 0, i);
+        }
+        let (evs, stats) = r.snapshot_with_stats();
+        assert_eq!(evs.len(), 8);
+        assert_eq!(stats.recorded, 20);
+        assert_eq!(stats.dropped, 12);
+        assert_eq!(stats.resident, 8);
+        assert!(!stats.complete());
+        let header = RingStats::parse_json_line(r.dump_jsonl().lines().next().unwrap());
+        assert_eq!(header, Some(stats));
+    }
+
+    #[test]
+    fn unwrapped_ring_is_complete() {
+        let r = EventRing::new(8);
+        r.push(EventKind::LockGrant, ModeTag::S, 1, 0, 0);
+        let (_, stats) = r.snapshot_with_stats();
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.torn, 0);
+        assert!(stats.complete());
     }
 
     #[test]

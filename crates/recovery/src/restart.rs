@@ -2,6 +2,7 @@
 
 use ariesim_common::stats::{Bump, StatsHandle};
 use ariesim_common::{Lsn, PageId, Result, TxnId};
+use ariesim_obs::{recovery_phase, SpanKind};
 use ariesim_storage::BufferPool;
 use ariesim_txn::RmRegistry;
 use ariesim_wal::{ChainLogger, CheckpointData, LogManager, LogRecord, RecordKind, TxnState};
@@ -65,9 +66,19 @@ pub fn restart(
     let mut dpt: HashMap<PageId, Lsn> = HashMap::new();
     let mut ckpt_seen = ckpt_lsn.is_null();
 
+    // Live progress for `--progress` samplers: phase, current-vs-target
+    // LSN, pages redone, losers remaining. Relaxed gauge stores — cheap
+    // enough to update per record.
+    let obs = pool.obs();
+    let prog = &obs.gauge.recovery;
+    prog.phase.set(recovery_phase::ANALYSIS);
+    prog.target_lsn.set(log.next_lsn().0);
+    prog.current_lsn.set(scan_from.0);
+
     for rec in log.scan(scan_from) {
         let rec = rec?;
         out.analyzed += 1;
+        prog.current_lsn.set(rec.lsn.0);
         out.max_txn_id = out.max_txn_id.max(rec.txn.0);
         match rec.kind {
             RecordKind::CkptBegin => {}
@@ -138,8 +149,12 @@ pub fn restart(
     // ---------------- Redo: repeat history ------------------------------------
     let redo_start = dpt.values().copied().min().unwrap_or(log.next_lsn());
     out.redo_start = redo_start;
+    prog.phase.set(recovery_phase::REDO);
+    prog.current_lsn.set(redo_start.0);
+    let redo_span = obs.span(SpanKind::Apply, 0, 0);
     for rec in log.scan(redo_start) {
         let rec = rec?;
+        prog.current_lsn.set(rec.lsn.0);
         if !rec.kind.is_redoable() || rec.page.is_null() {
             continue;
         }
@@ -159,10 +174,12 @@ pub fn restart(
             g.record_update(rec.lsn);
             out.redo_applied += 1;
             stats.redo_applied.bump();
+            prog.pages_redone.set(out.redo_applied);
             drop(g);
             ariesim_fault::crash_point!("recovery.redo.applied");
         }
     }
+    drop(redo_span);
 
     // ---------------- Undo: roll back losers in one backward sweep -----------
     // next-undo pointer per loser; process the globally largest LSN first.
@@ -174,6 +191,8 @@ pub fn restart(
         out.losers.push(*txn);
     }
     out.losers.sort();
+    prog.phase.set(recovery_phase::UNDO);
+    prog.losers_remaining.set(next_undo.len() as u64);
 
     while let Some((&txn, &lsn)) = next_undo.iter().max_by_key(|(_, &l)| l) {
         if lsn.is_null() {
@@ -182,6 +201,7 @@ pub fn restart(
             logger.control(RecordKind::End);
             next_undo.remove(&txn);
             chain_end.remove(&txn);
+            prog.losers_remaining.set(next_undo.len() as u64);
             continue;
         }
         let rec: LogRecord = log.read(lsn)?;
@@ -209,6 +229,11 @@ pub fn restart(
     }
 
     log.flush_all()?;
+    prog.phase.set(recovery_phase::COMPLETE);
+    // Undo appended CLRs and End records, so the end of log moved; republish
+    // the target so current == target reads as "done".
+    prog.target_lsn.set(log.next_lsn().0);
+    prog.current_lsn.set(log.next_lsn().0);
     ariesim_fault::crash_point!("recovery.done");
     pool.obs()
         .monitor

@@ -112,7 +112,17 @@ impl ReplPair {
 
     /// One replication cycle: ship at most one chunk, ingest and apply it.
     /// Returns bytes shipped (0 = channel idle and standby caught up).
+    ///
+    /// Gauges the lag the cycle *found* first: the pair sees the primary's
+    /// durable log end, which the transport-only view inside
+    /// [`Standby::pump`] cannot (that view never exceeds the shipped
+    /// prefix). `repl_lag_*.max()` over a run is therefore the true
+    /// high-water backlog; `.last()` is the settled post-apply state.
     pub fn pump(&self) -> Result<u64> {
+        self.standby.obs().gauge.repl_lag.set_watermarks(
+            self.primary.log.flushed_lsn().0,
+            self.standby.applied_lsn().0,
+        );
         let shipped = self.shipper.lock().pump()?;
         self.standby.pump()?;
         Ok(shipped)

@@ -29,7 +29,7 @@ use ariesim_db::catalog::Catalog;
 use ariesim_db::{Db, DbOptions, Row};
 use ariesim_fault::crash_point;
 use ariesim_lock::LockManager;
-use ariesim_obs::ObsHandle;
+use ariesim_obs::{ObsHandle, SpanKind};
 use ariesim_record::HeapManager;
 use ariesim_recovery::{apply_redo, RedoCursor};
 use ariesim_storage::{BufferPool, DiskManager, PoolOptions, SpaceRm};
@@ -236,6 +236,7 @@ impl Standby {
             let _w = self.gate.write();
             let mut cur = self.cursor.lock();
             let t = self.obs.timer();
+            let span = self.obs.span(SpanKind::Apply, 0, 0);
             let examined = apply_redo(
                 &self.log,
                 &self.pool,
@@ -246,6 +247,7 @@ impl Standby {
                 APPLY_BATCH,
             )?;
             self.applied.store(cur.at.0, Ordering::Release);
+            drop(span);
             if examined == 0 {
                 break;
             }
@@ -257,12 +259,23 @@ impl Standby {
         Ok(self.applied_lsn())
     }
 
-    /// One receive + apply cycle; updates the replication-lag gauge.
-    /// Returns bytes ingested.
+    /// One receive + apply cycle; updates the replication-lag gauge from
+    /// the two watermarks (the transport's durable end vs our applied LSN
+    /// — see `ariesim_obs::ReplLag` for the unit semantics).
+    ///
+    /// The gauge is set twice per cycle: first with the backlog the cycle
+    /// *found* (durable end vs the applied watermark before this batch —
+    /// its `.max()` over a run is the high-water lag), then with the
+    /// settled post-apply state (normally 0, so `.last()` reads as
+    /// "caught up" between cycles).
     pub fn pump(&self) -> Result<u64> {
         let n = self.recv_once()?;
-        self.apply_once()?;
-        self.obs.gauge.repl_lag_bytes.set(self.lag_bytes());
+        let lag = &self.obs.gauge.repl_lag;
+        let before = self.applied_lsn();
+        let end = self.transport.end().unwrap_or(before);
+        lag.set_watermarks(end.0, before.0);
+        let applied = self.apply_once()?;
+        lag.set_watermarks(end.0, applied.0);
         Ok(n)
     }
 

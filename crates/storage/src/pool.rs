@@ -24,7 +24,7 @@ use ariesim_common::stats::{Bump, StatsHandle};
 use ariesim_common::{Error, Lsn, PageBuf, PageId, Result};
 use ariesim_fault::crash_point;
 use ariesim_obs::lockdep;
-use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle};
+use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle, SpanKind};
 use ariesim_wal::{DptEntry, LogManager};
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
@@ -231,7 +231,9 @@ impl BufferPool {
                         None => {
                             self.stats.latch_page_waits.bump();
                             let wait = self.obs.timer();
+                            let span = self.obs.span(SpanKind::LatchWait, 0, page.0);
                             let g = slot.read_arc();
+                            drop(span);
                             self.obs.hist.latch_wait_page.record_since(wait);
                             g
                         }
@@ -280,7 +282,9 @@ impl BufferPool {
                         None => {
                             self.stats.latch_page_waits.bump();
                             let wait = self.obs.timer();
+                            let span = self.obs.span(SpanKind::LatchWait, 0, page.0);
                             let g = slot.write_arc();
+                            drop(span);
                             self.obs.hist.latch_wait_page.record_since(wait);
                             g
                         }
@@ -386,13 +390,19 @@ impl BufferPool {
                     self.log.flush_to(latch.page_lsn())?;
                     crash_point!("pool.evict.after_force");
                     let io = self.obs.timer();
-                    self.disk.write_page(&latch)?;
+                    {
+                        let _span = self.obs.span(SpanKind::PageWrite, 0, old.page.0);
+                        self.disk.write_page(&latch)?;
+                    }
                     crash_point!("pool.evict.after_write");
                     self.obs.hist.page_write.record_since(io);
                     self.lock_inner("storage::pool::claim.dpt").dpt.remove(&old.page);
                 }
                 let io = self.obs.timer();
-                *latch = self.disk.read_page(page)?;
+                {
+                    let _span = self.obs.span(SpanKind::PageRead, 0, page.0);
+                    *latch = self.disk.read_page(page)?;
+                }
                 self.obs.hist.page_read.record_since(io);
                 Ok(())
             })();
@@ -431,7 +441,10 @@ impl BufferPool {
             self.log.flush_to(guard.page_lsn())?;
             crash_point!("pool.flush.after_force");
             let io = self.obs.timer();
-            self.disk.write_page(&guard)?;
+            {
+                let _span = self.obs.span(SpanKind::PageWrite, 0, page.0);
+                self.disk.write_page(&guard)?;
+            }
             crash_point!("pool.flush.after_write");
             self.obs.hist.page_write.record_since(io);
             let mut g = self.lock_inner("storage::pool::flush_page");

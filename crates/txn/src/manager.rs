@@ -5,6 +5,7 @@ use ariesim_common::stats::StatsHandle;
 use ariesim_fault::crash_point;
 use ariesim_common::{Error, Lsn, Result, TxnId};
 use ariesim_lock::LockManager;
+use ariesim_obs::SpanKind;
 use ariesim_storage::BufferPool;
 use ariesim_wal::{
     ChainLogger, CheckpointData, LogManager, LogRecord, RecordKind, ResourceManager, RmId,
@@ -219,6 +220,10 @@ impl TransactionManager {
     /// the paper's §1 efficiency measure.)
     pub fn commit(&self, txn: &TxnHandle) -> Result<()> {
         let op = self.pool.obs().timer();
+        // Tag the commit window with the txn id so per-transaction
+        // attribution can break a commit into its WAL append / fsync /
+        // lock-release components.
+        let _span = self.pool.obs().span(SpanKind::UserWork, txn.id.0, 0);
         txn.check_active()?;
         let commit_lsn = txn.with_logger(&self.log, |l| l.control(RecordKind::Commit));
         crash_point!("txn.commit.logged");

@@ -17,7 +17,7 @@ use crate::frame::{self, FrameRead, FIRST_LSN, LOG_MAGIC};
 use crate::record::{LogRecord, RecordKind};
 use ariesim_common::stats::{Bump, StatsHandle};
 use ariesim_fault::crash_point;
-use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle};
+use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle, SpanKind};
 use ariesim_common::{Error, Lsn, Result};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -127,6 +127,7 @@ impl LogManager {
 
     /// Append a record (buffered, not yet durable). Returns its LSN.
     pub fn append(&self, rec: &LogRecord) -> Lsn {
+        let _span = self.obs.span(SpanKind::WalAppend, rec.txn.0, 0);
         let body = rec.encode();
         let framed = frame::encode_frame(&body);
         let mut g = self.inner.lock();
@@ -179,6 +180,7 @@ impl LogManager {
             return Ok(());
         }
         let force = self.obs.timer();
+        let _span = self.obs.span(SpanKind::WalFsync, 0, 0);
         crash_point!("wal.flush.begin");
         g.file.seek(SeekFrom::Start(from as u64))?;
         let slice: Vec<u8> = g.image[from..to].to_vec();

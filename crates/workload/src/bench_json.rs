@@ -43,6 +43,23 @@ fn config_json(cfg: &WorkloadConfig) -> String {
     o.finish()
 }
 
+fn breakdown_json(r: &RunResult) -> String {
+    let mut spans = Object::new();
+    for (name, self_ns, count) in r.breakdown.named() {
+        let mut s = Object::new();
+        s.field_u64("self_ns", self_ns);
+        s.field_u64("count", count);
+        spans.field_raw(name, &s.finish());
+    }
+    let mut o = Object::new();
+    o.field_u64("wall_ns", r.wall_ns);
+    o.field_u64("attributed_ns", r.breakdown.total_ns());
+    o.field_u64("aborted_ns", r.aborted_ns);
+    o.field_f64("coverage", r.attribution_coverage());
+    o.field_raw("spans", &spans.finish());
+    o.finish()
+}
+
 fn run_json(r: &RunResult) -> String {
     let mut lat = Object::new();
     lat.field_raw("read", &hist_json(&r.read));
@@ -60,7 +77,9 @@ fn run_json(r: &RunResult) -> String {
     o.field_u64("aborts", r.aborts);
     o.field_u64("standby_reads", r.standby_reads);
     o.field_u64("max_repl_lag_bytes", r.max_lag_bytes);
+    o.field_u64("max_repl_lag_lsn_delta", r.max_lag_lsn_delta);
     o.field_raw("latency", &lat.finish());
+    o.field_raw("breakdown", &breakdown_json(r));
     o.finish()
 }
 
@@ -128,7 +147,30 @@ pub fn validate(text: &str) -> Result<String> {
         need_u64(run, "ops", "run")?;
         need_u64(run, "aborts", "run")?;
         need_u64(run, "max_repl_lag_bytes", "run")?;
+        need_u64(run, "max_repl_lag_lsn_delta", "run")?;
         need(run, "throughput_ops_s", "run")?;
+        // Per-phase commit-path attribution: every span kind must be
+        // present, and the attributed time must explain the measured op
+        // wall time to within 5% (the coverage acceptance bound).
+        let bd = need(run, "breakdown", "run")?;
+        let wall_ns = need_u64(bd, "wall_ns", "breakdown")?;
+        let attributed = need_u64(bd, "attributed_ns", "breakdown")?;
+        need_u64(bd, "aborted_ns", "breakdown")?;
+        let spans = need(bd, "spans", "breakdown")?;
+        for name in ariesim_obs::SPAN_NAMES {
+            let s = need(spans, name, "breakdown.spans")?;
+            need_u64(s, "self_ns", name)?;
+            need_u64(s, "count", name)?;
+        }
+        if wall_ns > 0 {
+            let cov = attributed as f64 / wall_ns as f64;
+            if !(0.95..=1.05).contains(&cov) {
+                return Err(Error::Internal(format!(
+                    "BENCH json: breakdown covers {cov:.3} of wall time, \
+                     outside [0.95, 1.05]"
+                )));
+            }
+        }
         let lat = need(run, "latency", "run")?;
         for op in ["read", "insert", "update", "delete", "commit", "repl_apply"] {
             let h = need(lat, op, "latency")?;
@@ -159,6 +201,13 @@ mod tests {
         h.record_ns(1_000);
         h.record_ns(2_000);
         h.record_ns(50_000);
+        // wall = 3 populated op histograms (53 µs each) + aborted time;
+        // the fake breakdown attributes exactly that, so coverage = 1.
+        let mut breakdown = ariesim_obs::SpanSnapshot::default();
+        breakdown.self_ns[ariesim_obs::SpanKind::UserWork as usize] = 100_000;
+        breakdown.count[ariesim_obs::SpanKind::UserWork as usize] = 9;
+        breakdown.self_ns[ariesim_obs::SpanKind::LockWait as usize] = 60_000;
+        breakdown.count[ariesim_obs::SpanKind::LockWait as usize] = 2;
         RunResult {
             threads,
             ops: 1000,
@@ -171,7 +220,11 @@ mod tests {
             aborts: 3,
             standby_reads: 200,
             max_lag_bytes: 4096,
+            max_lag_lsn_delta: 4096,
             repl_apply: h.snapshot(),
+            breakdown,
+            wall_ns: 160_000,
+            aborted_ns: 1_000,
         }
     }
 
@@ -211,5 +264,12 @@ mod tests {
         assert!(validate(&no_runs).is_err());
         let no_lat = good.replace("\"latency\"", "\"latency_gone\"");
         assert!(validate(&no_lat).is_err());
+        let no_breakdown = good.replace("\"breakdown\"", "\"breakdown_gone\"");
+        assert!(validate(&no_breakdown).is_err());
+        // Attribution that explains only a fraction of wall time fails the
+        // 5% coverage bound.
+        let poor_coverage = good.replace("\"attributed_ns\":160000", "\"attributed_ns\":10000");
+        assert_ne!(poor_coverage, good, "replacement must hit");
+        assert!(validate(&poor_coverage).is_err());
     }
 }

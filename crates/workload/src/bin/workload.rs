@@ -15,17 +15,22 @@
 //!   --theta F        zipfian skew (0 < F < 1); --uniform for uniform
 //!   --mix R:I:U:D    operation mix weights (default 70:15:10:5)
 //!   --seed N         RNG seed
+//!   --progress       live replication progress (lag + applied LSN) on stderr
+//!   --metrics FILE   dump the metrics registry in Prometheus text format
+//!   --trace FILE     dump the primary's event ring as JSONL (for foldtrace)
 //! ```
 
 use ariesim_common::tmp::TempDir;
 use ariesim_db::{Db, DbOptions};
-use ariesim_obs::Obs;
+use ariesim_obs::{Obs, ObsHandle};
 use ariesim_repl::ReplPair;
 use ariesim_workload::{
     bench_json, load, run, validate, KeyDist, MixSpec, RunResult, Target, WorkloadConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 struct Args {
     command: String,
@@ -38,6 +43,9 @@ struct Args {
     uniform: bool,
     mix: Option<MixSpec>,
     seed: Option<u64>,
+    progress: bool,
+    metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
 
@@ -45,7 +53,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: workload <baseline|replication|all> \
          [--quick] [--out DIR] [--threads N,M] [--ops N] [--keyspace N] \
-         [--theta F | --uniform] [--mix R:I:U:D] [--seed N]\n\
+         [--theta F | --uniform] [--mix R:I:U:D] [--seed N] \
+         [--progress] [--metrics FILE] [--trace FILE]\n\
          \x20      workload validate FILE..."
     );
     ExitCode::FAILURE
@@ -65,6 +74,9 @@ fn parse_args() -> Result<Args, String> {
         uniform: false,
         mix: None,
         seed: None,
+        progress: false,
+        metrics: None,
+        trace: None,
         files: Vec::new(),
     };
     while let Some(a) = argv.next() {
@@ -72,6 +84,9 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--quick" => args.quick = true,
             "--uniform" => args.uniform = true,
+            "--progress" => args.progress = true,
+            "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics")?)),
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--threads" => {
                 args.threads = value("--threads")?
@@ -141,7 +156,7 @@ fn print_run(label: &str, r: &RunResult) {
     println!(
         "  {label}: {} threads, {} ops in {:.2}s = {:.0} ops/s \
          (p50 read {}ns, p99 read {}ns, p99 commit {}ns, aborts {}, \
-         standby reads {}, max lag {}B)",
+         standby reads {}, max lag {}B / {} LSNs)",
         r.threads,
         r.ops,
         r.elapsed.as_secs_f64(),
@@ -152,7 +167,50 @@ fn print_run(label: &str, r: &RunResult) {
         r.aborts,
         r.standby_reads,
         r.max_lag_bytes,
+        r.max_lag_lsn_delta,
     );
+    // Commit-path attribution: where the operation wall time actually went.
+    let wall = r.wall_ns.max(1);
+    let mut parts: Vec<String> = r
+        .breakdown
+        .named()
+        .iter()
+        .filter(|(_, self_ns, _)| *self_ns > 0)
+        .map(|(name, self_ns, _)| {
+            format!("{name} {:.1}%", 100.0 * *self_ns as f64 / wall as f64)
+        })
+        .collect();
+    if parts.is_empty() {
+        parts.push("none recorded".into());
+    }
+    println!(
+        "    breakdown ({:.1}% of {:.1}ms op wall time attributed): {}",
+        100.0 * r.attribution_coverage(),
+        r.wall_ns as f64 / 1e6,
+        parts.join(", ")
+    );
+}
+
+/// Dump the full metrics registry for an obs domain as Prometheus text.
+/// Overwritten per run; the file holds the most recent run's metrics.
+fn dump_metrics(path: &PathBuf, obs: &ObsHandle) -> Result<(), String> {
+    let reg = ariesim_obs::registry::for_obs(obs);
+    write_file(path, &reg.render_prometheus())
+}
+
+/// Dump an obs domain's event ring as JSONL (input for `foldtrace`).
+/// Overwritten per run; the file holds the most recent run's events.
+fn dump_trace(path: &PathBuf, obs: &ObsHandle) -> Result<(), String> {
+    write_file(path, &obs.ring.dump_jsonl())
+}
+
+fn write_file(path: &PathBuf, text: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(path, text).map_err(|e| e.to_string())?;
+    println!("wrote {}", path.display());
+    Ok(())
 }
 
 /// One fresh engine per thread count: runs must not see each other's
@@ -168,6 +226,12 @@ fn bench_baseline(args: &Args) -> Result<String, String> {
         let r = run(&Target::Standalone(&db), &cfg).map_err(|e| e.to_string())?;
         db.verify_consistency().map_err(|e| e.to_string())?;
         print_run("baseline", &r);
+        if let Some(path) = &args.metrics {
+            dump_metrics(path, db.obs())?;
+        }
+        if let Some(path) = &args.trace {
+            dump_trace(path, db.obs())?;
+        }
         runs.push(r);
     }
     Ok(bench_json(
@@ -191,7 +255,45 @@ fn bench_replication(args: &Args) -> Result<String, String> {
         load(&db, &cfg).map_err(|e| e.to_string())?;
         let pair = ReplPair::create(db, &dir.path().join("standby"), Obs::enabled(4096))
             .map_err(|e| e.to_string())?;
-        let r = run(&Target::Repl(&pair), &cfg).map_err(|e| e.to_string())?;
+        // `--progress`: while run() drives traffic, a sampler thread polls
+        // the standby's lag gauges and applied watermark, printing a line
+        // whenever they move.
+        let r = if args.progress {
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                let standby = &pair.standby;
+                let sampler = s.spawn(|| {
+                    let mut last = (u64::MAX, u64::MAX);
+                    while !stop.load(Ordering::Acquire) {
+                        let lag = &standby.obs().gauge.repl_lag;
+                        let now = (lag.bytes.last(), standby.applied_lsn().0);
+                        if now != last {
+                            eprintln!(
+                                "    progress: applied lsn {}, lag {}B ({} LSNs)",
+                                now.1,
+                                now.0,
+                                lag.lsn_delta.last()
+                            );
+                            last = now;
+                        }
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                });
+                let r = run(&Target::Repl(&pair), &cfg);
+                stop.store(true, Ordering::Release);
+                sampler.join().expect("progress sampler panicked");
+                r
+            })
+        } else {
+            run(&Target::Repl(&pair), &cfg)
+        }
+        .map_err(|e| e.to_string())?;
+        if let Some(path) = &args.metrics {
+            dump_metrics(path, pair.primary.obs())?;
+        }
+        if let Some(path) = &args.trace {
+            dump_trace(path, pair.primary.obs())?;
+        }
         let rows = pair
             .primary
             .verify_consistency()

@@ -17,7 +17,7 @@ use crate::rng::Rng;
 use crate::zipf::Zipf;
 use ariesim_common::{Error, Result};
 use ariesim_db::{Db, FetchCond, Row};
-use ariesim_obs::{HistogramSnapshot, LatencyHistogram};
+use ariesim_obs::{HistogramSnapshot, LatencyHistogram, SpanKind, SpanSnapshot};
 use ariesim_repl::ReplPair;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -159,13 +159,41 @@ pub struct RunResult {
     pub standby_reads: u64,
     /// High-water replication lag over the run, bytes (repl mode only).
     pub max_lag_bytes: u64,
+    /// High-water replication lag as an LSN delta (repl mode only). LSNs
+    /// are byte offsets in this engine, so this coincides with
+    /// `max_lag_bytes`; both are carried so the bench schema stays honest
+    /// if the LSN representation ever changes (see `ariesim_obs::ReplLag`).
+    pub max_lag_lsn_delta: u64,
     /// Standby apply-batch latency (`obs.hist.repl_apply`, repl mode only).
     pub repl_apply: HistogramSnapshot,
+    /// Per-kind self-time attribution over the primary obs domain. Every
+    /// worker wraps each operation attempt (begin through commit or
+    /// rollback) in a `UserWork` span, so the engine spans nested inside
+    /// (lock wait, latch wait, WAL append/fsync, page I/O) carve that
+    /// window up and the kinds sum to the operation wall time.
+    pub breakdown: SpanSnapshot,
+    /// Wall nanoseconds the workers spent inside operations: the sum of
+    /// the four op histograms plus time burnt in aborted-and-retried
+    /// attempts. `breakdown.total_ns()` should come within a few percent
+    /// of this — the attribution coverage check.
+    pub wall_ns: u64,
+    /// Wall nanoseconds spent in attempts that ended in a deadlock-victim
+    /// abort (included in `wall_ns`, not in any op histogram).
+    pub aborted_ns: u64,
 }
 
 impl RunResult {
     pub fn throughput(&self) -> f64 {
         self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// `breakdown.total_ns() / wall_ns` — fraction of operation wall time
+    /// explained by the span attribution (1.0 = fully attributed).
+    pub fn attribution_coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.breakdown.total_ns() as f64 / self.wall_ns as f64
     }
 }
 
@@ -207,6 +235,7 @@ pub fn load(db: &Arc<Db>, cfg: &WorkloadConfig) -> Result<()> {
 struct SharedState {
     next_id: AtomicU64,
     aborts: AtomicU64,
+    aborted_ns: AtomicU64,
     standby_reads: AtomicU64,
 }
 
@@ -227,6 +256,7 @@ pub fn run(target: &Target<'_>, cfg: &WorkloadConfig) -> Result<RunResult> {
     let shared = SharedState {
         next_id: AtomicU64::new(cfg.keyspace),
         aborts: AtomicU64::new(0),
+        aborted_ns: AtomicU64::new(0),
         standby_reads: AtomicU64::new(0),
     };
     let zipf = match cfg.dist {
@@ -285,31 +315,43 @@ pub fn run(target: &Target<'_>, cfg: &WorkloadConfig) -> Result<RunResult> {
         ops += r?;
     }
 
-    let (max_lag, repl_apply) = match target {
+    let (max_lag, max_lag_delta, repl_apply) = match target {
         Target::Repl(pair) => {
             pair.sync()?; // drain; also surfaces any pumper-thread error
             let sobs = pair.standby.obs();
             (
-                sobs.gauge.repl_lag_bytes.max(),
+                sobs.gauge.repl_lag.bytes.max(),
+                sobs.gauge.repl_lag.lsn_delta.max(),
                 sobs.hist.repl_apply.snapshot(),
             )
         }
-        Target::Standalone(_) => (0, HistogramSnapshot::default()),
+        Target::Standalone(_) => (0, 0, HistogramSnapshot::default()),
     };
+
+    let read = hist_read.snapshot();
+    let insert = hist_insert.snapshot();
+    let update = hist_update.snapshot();
+    let delete = hist_delete.snapshot();
+    let aborted_ns = shared.aborted_ns.load(Ordering::Relaxed);
+    let wall_ns = read.sum_ns + insert.sum_ns + update.sum_ns + delete.sum_ns + aborted_ns;
 
     Ok(RunResult {
         threads: cfg.threads,
         ops,
         elapsed,
-        read: hist_read.snapshot(),
-        insert: hist_insert.snapshot(),
-        update: hist_update.snapshot(),
-        delete: hist_delete.snapshot(),
+        read,
+        insert,
+        update,
+        delete,
         commit: primary.obs().hist.op_commit.snapshot(),
         aborts: shared.aborts.load(Ordering::Relaxed),
         standby_reads: shared.standby_reads.load(Ordering::Relaxed),
         max_lag_bytes: max_lag,
+        max_lag_lsn_delta: max_lag_delta,
         repl_apply,
+        breakdown: primary.obs().spans.snapshot(),
+        wall_ns,
+        aborted_ns,
     })
 }
 
@@ -362,12 +404,18 @@ fn worker(
         };
 
         // Standby reads are transaction-free watermark reads; everything
-        // else (and the remaining reads) goes through the primary.
+        // else (and the remaining reads) goes through the primary. The
+        // UserWork span lives in the *primary* obs domain so the breakdown
+        // covers the whole run; the standby's own engine spans (latch
+        // waits, page reads) land in the standby domain and merely shave
+        // their share off this span's self time.
         if op == Op::Read {
             if let Target::Repl(pair) = target {
                 if rng.next_f64() < cfg.standby_read_fraction {
                     let t = Instant::now();
+                    let span = db.obs().span(SpanKind::UserWork, 0, 0);
                     pair.standby.read("kv_pk", &key_bytes(rank))?;
+                    drop(span);
                     hist_read.record_ns(t.elapsed().as_nanos() as u64);
                     shared.standby_reads.fetch_add(1, Ordering::Relaxed);
                     committed += 1;
@@ -376,7 +424,12 @@ fn worker(
             }
         }
 
+        // One UserWork span per attempt, begin through commit or rollback:
+        // the engine spans nested inside carve this window into lock wait /
+        // latch wait / WAL / page-I/O shares, and the kinds together sum to
+        // the same wall time the histograms (and `aborted_ns`) record.
         let t = Instant::now();
+        let span = db.obs().span(SpanKind::UserWork, 0, 0);
         let txn = db.begin();
         let res = match op {
             Op::Read => db
@@ -416,6 +469,7 @@ fn worker(
         };
         match res.and_then(|()| db.commit(&txn)) {
             Ok(()) => {
+                drop(span);
                 let ns = t.elapsed().as_nanos() as u64;
                 match op {
                     Op::Read => hist_read.record_ns(ns),
@@ -426,8 +480,14 @@ fn worker(
                 committed += 1;
             }
             Err(e) if e.is_retryable() => {
+                // Roll back inside the timed window so the undo work is
+                // attributed, then charge the whole attempt to aborted_ns.
                 shared.aborts.fetch_add(1, Ordering::Relaxed);
                 db.rollback(&txn)?;
+                drop(span);
+                shared
+                    .aborted_ns
+                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
             Err(e) => {
                 db.rollback(&txn).ok();
@@ -488,6 +548,17 @@ mod tests {
         assert!(res.read.count + res.insert.count + res.update.count + res.delete.count > 0);
         assert!(res.commit.count > 0, "engine commit histogram populated");
         assert!(res.throughput() > 0.0);
+        // Every attempt is wrapped in a UserWork span, so the attribution
+        // must explain (almost exactly) all of the measured op wall time.
+        assert!(
+            res.breakdown.count[SpanKind::UserWork as usize] >= res.ops,
+            "one UserWork span per attempt"
+        );
+        let cov = res.attribution_coverage();
+        assert!(
+            (0.90..=1.05).contains(&cov),
+            "breakdown covers wall time: {cov}"
+        );
         db.verify_consistency().unwrap();
     }
 

@@ -1,0 +1,111 @@
+//! End-to-end span attribution: a real workload's time breakdown must
+//! explain (almost exactly) all of the wall time the harness measured.
+//!
+//! The tentpole property is *conservation*: every worker wraps each
+//! operation attempt in a `UserWork` span, the engine's own spans
+//! (lock wait, latch wait, WAL append/fsync, page I/O) nest inside and
+//! subtract from their parent's self time, so the per-kind self times sum
+//! back to the operations' wall time. If instrumentation double-counts
+//! (overlapping spans) or leaks (an early return skipping a guard), the
+//! sum drifts and this test fails.
+
+use ariesim::common::tmp::TempDir;
+use ariesim::db::{Db, DbOptions};
+use ariesim::obs::{Attribution, Obs, SpanKind};
+use ariesim_workload::{load, run, KeyDist, MixSpec, Target, WorkloadConfig};
+
+fn cfg(threads: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        threads,
+        ops_per_thread: 150,
+        keyspace: 200,
+        payload: 48,
+        dist: KeyDist::Zipfian(0.99),
+        mix: MixSpec::CRUD,
+        seed: 0xA77_21B,
+        standby_read_fraction: 0.5,
+    }
+}
+
+/// The breakdown's components sum to ~100% of measured wall time, at one
+/// thread and under contention.
+#[test]
+fn breakdown_sums_to_wall_time() {
+    for threads in [1usize, 4] {
+        let dir = TempDir::new("attribution");
+        let db = Db::open_with_obs(
+            dir.path(),
+            DbOptions {
+                frames: 256,
+                ..DbOptions::default()
+            },
+            // Large ring: the exactness check below wants a complete dump.
+            Obs::enabled(1 << 18),
+        )
+        .unwrap();
+        let c = cfg(threads);
+        load(&db, &c).unwrap();
+        let res = run(&Target::Standalone(&db), &c).unwrap();
+
+        assert!(res.wall_ns > 0, "workload measured no wall time");
+        let cov = res.attribution_coverage();
+        assert!(
+            (0.90..=1.05).contains(&cov),
+            "{threads} threads: breakdown explains {:.1}% of wall time \
+             (attributed {}ns of {}ns)",
+            100.0 * cov,
+            res.breakdown.total_ns(),
+            res.wall_ns
+        );
+
+        // The commit path must actually decompose: every committed op
+        // forced the log, so WAL append and fsync time must appear, and
+        // the residual user work dominates nothing pathological.
+        let b = &res.breakdown;
+        assert!(b.count[SpanKind::UserWork as usize] >= res.ops);
+        assert!(b.self_ns[SpanKind::WalAppend as usize] > 0, "no WAL append time");
+        assert!(b.self_ns[SpanKind::WalFsync as usize] > 0, "no WAL fsync time");
+
+        // Offline fold of the JSONL dump agrees exactly with the live
+        // totals when the ring did not wrap.
+        let dump = db.obs().ring.dump_jsonl();
+        let a = Attribution::from_jsonl(&dump);
+        if a.complete() {
+            assert_eq!(a.self_ns, b.self_ns, "offline fold diverged from live totals");
+            assert_eq!(a.count, b.count);
+            assert!(!a.per_txn.is_empty(), "per-transaction rows missing");
+        } else {
+            // A wrapped ring must say so rather than under-report silently.
+            assert!(a.dropped > 0);
+            assert!(a.render().contains("WARNING"));
+        }
+    }
+}
+
+/// Attributed time can never exceed threads × elapsed: spans are
+/// per-thread self times, so the aggregate is bounded by total CPU-time
+/// available to the workers.
+#[test]
+fn attribution_bounded_by_elapsed() {
+    let dir = TempDir::new("attribution-bound");
+    let db = Db::open_with_obs(
+        dir.path(),
+        DbOptions {
+            frames: 256,
+            ..DbOptions::default()
+        },
+        Obs::enabled(1 << 12),
+    )
+    .unwrap();
+    let c = cfg(2);
+    load(&db, &c).unwrap();
+    let res = run(&Target::Standalone(&db), &c).unwrap();
+    let budget = res.elapsed.as_nanos() as u64 * res.threads as u64;
+    assert!(
+        res.breakdown.total_ns() <= budget + budget / 10,
+        "attributed {}ns exceeds {} threads x {}ns elapsed",
+        res.breakdown.total_ns(),
+        res.threads,
+        res.elapsed.as_nanos()
+    );
+}

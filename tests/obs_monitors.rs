@@ -156,9 +156,13 @@ fn event_ring_dumps_jsonl_and_reparses() {
     assert!(!events.is_empty(), "engine activity recorded no events");
     let dump = obs.ring.dump_jsonl();
     let lines: Vec<&str> = dump.lines().collect();
-    assert_eq!(lines.len(), events.len());
+    // First line is the completeness header; the rest are the events.
+    assert_eq!(lines.len(), events.len() + 1);
+    let stats = ariesim::obs::RingStats::parse_json_line(lines[0])
+        .expect("header line parses as ring stats");
+    assert!(stats.complete(), "unwrapped ring must report completeness");
 
-    let parsed: Vec<_> = lines
+    let parsed: Vec<_> = lines[1..]
         .iter()
         .map(|l| ariesim::obs::Event::parse_json_line(l).expect("line parses"))
         .collect();
