@@ -188,6 +188,8 @@ const LATCH_NEEDLES: &[(&str, LatchClass, bool)] = &[
     (".try_fix_s(", LatchClass::Page, true),
     (".try_fix_x(", LatchClass::Page, true),
     ("try_tree_s(", LatchClass::Tree, true),
+    (".latch_s(", LatchClass::Page, false),
+    (".latch_x(", LatchClass::Page, false),
     (".fix_s(", LatchClass::Page, false),
     (".fix_x(", LatchClass::Page, false),
     ("tree_s(", LatchClass::Tree, false),
@@ -348,6 +350,8 @@ const GUARD_NEEDLES: &[&str] = &[
     ".try_fix_s(",
     ".try_fix_x(",
     "try_tree_s(",
+    ".latch_s(",
+    ".latch_x(",
     ".fix_s(",
     ".fix_x(",
     "tree_s(",

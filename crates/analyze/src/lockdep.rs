@@ -7,7 +7,7 @@
 //! waits, so it cannot participate in a deadlock). This module replays that
 //! graph against the paper's §4 ordering argument:
 //!
-//! * **Rank order** — TreeLatch(1) → PageLatch(2) → {PoolMutex, LockTable}(3)
+//! * **Rank order** — TreeLatch(1) → PageLatch(2) → {PoolShard, LockTable}(3)
 //!   → LockWait(4). An edge from a higher rank to a strictly lower one means
 //!   some thread blocked on a class that other threads acquire *before* the
 //!   one it was holding — the raw material of a deadlock cycle.
@@ -28,11 +28,14 @@ use std::collections::{HashMap, HashSet};
 
 /// Class ranks, mirroring `ariesim_obs::lockdep::Class::rank()`. Kept as a
 /// table of names so the checker has no dependency on the obs crate.
+/// `PoolShard` (rank 3) is one of the buffer pool's partition mutexes — the
+/// retired `PoolMutex` name is deliberately absent, so a stale dump from a
+/// pre-partitioned build fails as an unknown class instead of passing.
 pub fn class_rank(name: &str) -> Option<u32> {
     match name {
         "TreeLatch" => Some(1),
         "PageLatch" => Some(2),
-        "PoolMutex" | "LockTable" => Some(3),
+        "PoolShard" | "LockTable" => Some(3),
         "LockWait" => Some(4),
         _ => None,
     }

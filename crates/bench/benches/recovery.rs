@@ -37,7 +37,7 @@ fn run_restart(dir: &std::path::Path, root: ariesim_common::PageId) -> Duration 
         LogManager::open(&dir.join("wal"), LogOptions::default(), stats.clone()).unwrap(),
     );
     let disk = DiskManager::open(&dir.join("db"), stats.clone()).unwrap();
-    let pool = BufferPool::new(disk, log.clone(), PoolOptions { frames: 8192 }, stats.clone());
+    let pool = BufferPool::new(disk, log.clone(), PoolOptions { frames: 8192, ..PoolOptions::default() }, stats.clone());
     let locks = Arc::new(LockManager::new(stats.clone()));
     let _ = locks;
     let rms = Arc::new(RmRegistry::new());

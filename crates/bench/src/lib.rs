@@ -62,7 +62,7 @@ pub fn rig_with_obs(
     let pool = BufferPool::new_with_obs(
         disk,
         log.clone(),
-        PoolOptions { frames },
+        PoolOptions { frames, ..PoolOptions::default() },
         stats.clone(),
         obs.clone(),
     );

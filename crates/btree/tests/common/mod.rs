@@ -30,7 +30,7 @@ pub fn fix_with(unique: bool, protocol: LockProtocol, frames: usize) -> Fix {
         LogManager::open(&dir.file("wal"), LogOptions::default(), stats.clone()).unwrap(),
     );
     let disk = DiskManager::open(&dir.file("db"), stats.clone()).unwrap();
-    let pool = BufferPool::new(disk, log.clone(), PoolOptions { frames }, stats.clone());
+    let pool = BufferPool::new(disk, log.clone(), PoolOptions { frames, ..PoolOptions::default() }, stats.clone());
     SpaceMap::initialize(&pool).unwrap();
     let locks = Arc::new(LockManager::new(stats.clone()));
     let rms = Arc::new(RmRegistry::new());

@@ -42,6 +42,14 @@ pub use table::Row;
 pub struct DbOptions {
     /// Buffer pool frames.
     pub frames: usize,
+    /// Buffer-pool page-table partitions (0 = auto; see
+    /// [`PoolOptions::partitions`]).
+    pub pool_partitions: usize,
+    /// Buffer-pool eviction policy.
+    pub eviction: ariesim_storage::EvictionPolicyKind,
+    /// Background-writer tick interval (`None` = foreground-only
+    /// write-back).
+    pub bg_writer: Option<std::time::Duration>,
     /// Index locking protocol (paper §2.1).
     pub protocol: LockProtocol,
     /// Data-only locking at page granularity: lock data pages instead of
@@ -57,6 +65,9 @@ impl Default for DbOptions {
     fn default() -> Self {
         DbOptions {
             frames: 1024,
+            pool_partitions: 0,
+            eviction: ariesim_storage::EvictionPolicyKind::Clock,
+            bg_writer: None,
             protocol: LockProtocol::DataOnly,
             page_granularity: false,
             fsync: false,
@@ -108,7 +119,13 @@ impl Db {
         let pool = BufferPool::new_with_obs(
             disk,
             log.clone(),
-            PoolOptions { frames: opts.frames },
+            PoolOptions {
+                frames: opts.frames,
+                partitions: opts.pool_partitions,
+                policy: opts.eviction,
+                bg_writer: opts.bg_writer,
+                ..PoolOptions::default()
+            },
             stats.clone(),
             obs.clone(),
         );

@@ -34,6 +34,7 @@ pub use registry::{MetricValue, MetricsRegistry};
 pub use span::{SpanGuard, SpanKind, SpanSnapshot, SpanTotals, SPAN_KIND_COUNT, SPAN_NAMES};
 pub use trace::{Event, EventKind, EventRing, ModeTag, RingStats};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -185,6 +186,35 @@ pub struct Gauges {
     pub recovery: RecoveryProgress,
 }
 
+/// Buffer-pool traffic counters, bumped by `ariesim_storage::pool` and
+/// exposed through the metrics registry. Always live (plain relaxed
+/// atomics): the pool is on every page access, so these are the cheapest
+/// possible contention telemetry. Per-partition breakdowns live in the pool
+/// itself (partition count is not known when the handle is built).
+#[derive(Default)]
+pub struct PoolCounters {
+    /// Page-table hits (frame already resident).
+    pub hits: AtomicU64,
+    /// Page-table misses (frame loaded from disk).
+    pub misses: AtomicU64,
+    /// Evictions (a resident page was displaced to make room).
+    pub evictions: AtomicU64,
+    /// Dirty pages written back by the background writer.
+    pub bg_writer_pages: AtomicU64,
+    /// Shard-mutex acquisitions that found the mutex already held.
+    pub shard_contended: AtomicU64,
+}
+
+impl PoolCounters {
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.bg_writer_pages.store(0, Ordering::Relaxed);
+        self.shard_contended.store(0, Ordering::Relaxed);
+    }
+}
+
 /// One observability domain: histograms + gauges + event ring + invariant
 /// monitor.
 pub struct Obs {
@@ -193,6 +223,8 @@ pub struct Obs {
     pub gauge: Gauges,
     /// Exact per-kind span self-time totals (see [`span`]).
     pub spans: SpanTotals,
+    /// Buffer-pool traffic counters (see [`PoolCounters`]).
+    pub pool: PoolCounters,
     pub ring: EventRing,
     pub monitor: Monitor,
 }
@@ -210,6 +242,7 @@ impl Obs {
             hist: Histograms::default(),
             gauge: Gauges::default(),
             spans: SpanTotals::default(),
+            pool: PoolCounters::default(),
             ring: EventRing::new(8),
             monitor: Monitor::default(),
         })
@@ -222,6 +255,7 @@ impl Obs {
             hist: Histograms::default(),
             gauge: Gauges::default(),
             spans: SpanTotals::default(),
+            pool: PoolCounters::default(),
             ring: EventRing::new(ring_capacity),
             monitor: Monitor::default(),
         })
@@ -269,6 +303,7 @@ impl Obs {
         self.gauge.repl_lag.reset();
         self.gauge.recovery.reset();
         self.spans.reset();
+        self.pool.reset();
         self.ring.reset();
     }
 

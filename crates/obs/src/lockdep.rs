@@ -33,8 +33,10 @@ pub enum Class {
     TreeLatch,
     /// A buffer-pool page latch (`storage::pool::fix_*`).
     PageLatch,
-    /// The buffer pool's internal frame-table mutex.
-    PoolMutex,
+    /// One of the buffer pool's partition (shard) mutexes. Shards share a
+    /// single class: a thread never holds two shards at once, so no
+    /// shard→shard edge is legal either.
+    PoolShard,
     /// The lock manager's hash-table mutex.
     LockTable,
     /// An unconditional lock wait (`lock::manager::request` park).
@@ -43,13 +45,14 @@ pub enum Class {
 
 impl Class {
     /// Acquisition rank; a blocking edge must never go from a higher rank to
-    /// a strictly lower one. `PoolMutex` and `LockTable` share a rank — they
-    /// are leaf mutexes that are never held across each other.
+    /// a strictly lower one. `PoolShard` and `LockTable` share a rank — they
+    /// are leaf mutexes that are never held across each other (and a thread
+    /// never holds two pool shards simultaneously).
     pub fn rank(self) -> u8 {
         match self {
             Class::TreeLatch => 1,
             Class::PageLatch => 2,
-            Class::PoolMutex => 3,
+            Class::PoolShard => 3,
             Class::LockTable => 3,
             Class::LockWait => 4,
         }
@@ -59,7 +62,7 @@ impl Class {
         match self {
             Class::TreeLatch => "TreeLatch",
             Class::PageLatch => "PageLatch",
-            Class::PoolMutex => "PoolMutex",
+            Class::PoolShard => "PoolShard",
             Class::LockTable => "LockTable",
             Class::LockWait => "LockWait",
         }

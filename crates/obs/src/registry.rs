@@ -325,6 +325,37 @@ pub fn register_obs(reg: &MetricsRegistry, obs: &ObsHandle) {
         "tree traversals during restart redo (must stay 0)",
         move || o.monitor.snapshot().redo_traversal_violations,
     );
+
+    let o = obs.clone();
+    reg.register_counter(
+        "pool_hits",
+        "buffer-pool page-table hits (frame already resident)",
+        move || o.pool.hits.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    let o = obs.clone();
+    reg.register_counter(
+        "pool_misses",
+        "buffer-pool misses (page loaded from disk)",
+        move || o.pool.misses.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    let o = obs.clone();
+    reg.register_counter(
+        "pool_evictions",
+        "buffer-pool evictions (resident page displaced)",
+        move || o.pool.evictions.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    let o = obs.clone();
+    reg.register_counter(
+        "pool_bg_writer_pages",
+        "dirty pages written back by the pool's background writer",
+        move || o.pool.bg_writer_pages.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    let o = obs.clone();
+    reg.register_counter(
+        "pool_shard_contended",
+        "pool shard-mutex acquisitions that found the mutex held",
+        move || o.pool.shard_contended.load(std::sync::atomic::Ordering::Relaxed),
+    );
 }
 
 /// Bridge every `ariesim-common` paper counter (locks acquired, page

@@ -48,6 +48,12 @@ pub enum EventKind {
     /// An attribution span closed (`aux` = kind in the low 8 bits, self
     /// nanoseconds in the high 56; see [`crate::span::pack_end_aux`]).
     SpanEnd = 12,
+    /// A dirty page was written back to disk by the pool (eviction, flush,
+    /// or the background writer). `page` is the page, `aux` its `page_lsn`,
+    /// and `txn` carries the log's durable LSN at the instant of the write —
+    /// so `txn >= aux` on every such event *is* the WAL rule, checkable
+    /// offline from a ring dump.
+    PageWriteBack = 13,
 }
 
 impl EventKind {
@@ -66,6 +72,7 @@ impl EventKind {
             EventKind::TreeLatchAcquire => "tree_latch_acquire",
             EventKind::SpanBegin => "span_begin",
             EventKind::SpanEnd => "span_end",
+            EventKind::PageWriteBack => "page_write_back",
         }
     }
 
@@ -84,6 +91,7 @@ impl EventKind {
             "tree_latch_acquire" => EventKind::TreeLatchAcquire,
             "span_begin" => EventKind::SpanBegin,
             "span_end" => EventKind::SpanEnd,
+            "page_write_back" => EventKind::PageWriteBack,
             _ => return None,
         })
     }
@@ -103,6 +111,7 @@ impl EventKind {
             10 => EventKind::TreeLatchAcquire,
             11 => EventKind::SpanBegin,
             12 => EventKind::SpanEnd,
+            13 => EventKind::PageWriteBack,
             _ => return None,
         })
     }

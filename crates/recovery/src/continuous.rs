@@ -63,6 +63,9 @@ pub fn apply_redo(
 ) -> Result<u64> {
     let mut examined = 0u64;
     let mut iter = log.scan(cursor.at);
+    // One-entry pin cache: runs of records against the same page re-latch
+    // through the pin (one atomic) instead of probing the page table.
+    let mut pinned: Option<ariesim_storage::PinGuard> = None;
     loop {
         if examined >= max_records || iter.position() >= upto {
             break;
@@ -76,7 +79,12 @@ pub fn apply_redo(
         }
         cursor.seen += 1;
         stats.redo_records_seen.bump();
-        let mut g = pool.fix_x(rec.page)?; // latch-rank: 2
+        let pin = match pinned.take() {
+            Some(p) if p.page() == rec.page => p,
+            _ => pool.pin(rec.page)?,
+        };
+        let mut g = pin.latch_x(); // latch-rank: 2
+        pinned = Some(pin);
         if g.page_lsn() < rec.lsn {
             let rm = rms.get(rec.rm)?;
             rm.redo(&mut g, &rec)?;

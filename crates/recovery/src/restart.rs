@@ -152,6 +152,11 @@ pub fn restart(
     prog.phase.set(recovery_phase::REDO);
     prog.current_lsn.set(redo_start.0);
     let redo_span = obs.span(SpanKind::Apply, 0, 0);
+    // Redo hits the same page in runs (updates cluster); a one-entry pin
+    // cache re-latches those through the pin (one atomic) instead of a
+    // page-table probe per record, and keeps the frame resident between
+    // consecutive records against it.
+    let mut pinned: Option<ariesim_storage::PinGuard> = None;
     for rec in log.scan(redo_start) {
         let rec = rec?;
         prog.current_lsn.set(rec.lsn.0);
@@ -166,7 +171,12 @@ pub fn restart(
         if rec.lsn < rec_lsn {
             continue; // older than the page's first possibly-missing update
         }
-        let mut g = pool.fix_x(rec.page)?; // latch-rank: 2
+        let pin = match pinned.take() {
+            Some(p) if p.page() == rec.page => p,
+            _ => pool.pin(rec.page)?,
+        };
+        let mut g = pin.latch_x(); // latch-rank: 2
+        pinned = Some(pin);
         stats.restart_page_reads.bump();
         if g.page_lsn() < rec.lsn {
             let rm = rms.get(rec.rm)?;

@@ -107,7 +107,10 @@ impl Standby {
         let pool = BufferPool::new_with_obs(
             disk,
             log.clone(),
-            PoolOptions { frames: opts.frames },
+            PoolOptions {
+                frames: opts.frames,
+                ..PoolOptions::default()
+            },
             stats.clone(),
             obs.clone(),
         );

@@ -21,9 +21,14 @@
 //! written pages survive.
 
 pub mod disk;
+pub mod eviction;
 pub mod pool;
 pub mod space;
 
 pub use disk::DiskManager;
-pub use pool::{take_latch_high_water, BufferPool, PageReadGuard, PageWriteGuard, PoolOptions};
+pub use eviction::{EvictionPolicy, EvictionPolicyKind};
+pub use pool::{
+    take_latch_high_water, BufferPool, PageReadGuard, PageWriteGuard, PinGuard, PoolOptions,
+    ShardCounters,
+};
 pub use space::{SpaceMap, SpaceRm, FIRST_USER_PAGE, SPACE_MAP_PAGE};

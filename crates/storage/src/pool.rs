@@ -1,35 +1,60 @@
-//! Buffer pool with integrated page latches.
+//! Partitioned buffer pool with integrated page latches.
 //!
 //! Each buffer frame is an `RwLock<PageBuf>`; holding the lock *is* holding
-//! the page latch, in the mode the lock was taken in. Guards also hold a pin
-//! on the frame, so a latched (or merely fixed) page can never be evicted.
+//! the page latch, in the mode the lock was taken in. Frames additionally
+//! carry an explicit atomic pin count: guards hold a [`PinGuard`] (an RAII
+//! pin), so a latched (or merely fixed) page can never be evicted, and
+//! unpinning is one atomic decrement — no pool-wide lock anywhere on the
+//! release path.
+//!
+//! **Partitioning.** The page table is split into N partitions ("shards"):
+//! `hash(PageId) → shard`, each shard owning a contiguous slice of the frame
+//! array plus its own mutex, page table, dirty-page bookkeeping and
+//! [`EvictionPolicy`] instance. A hit takes one shard mutex briefly; a
+//! re-pin through an existing [`PinGuard`] (or a guard's
+//! [`PageReadGuard::repin`]) touches only the frame's atomics. The old
+//! whole-pool `PoolMutex` lockdep class is retired; shard mutexes register
+//! as `PoolShard` (same rank 3 — a thread never holds two shards at once).
 //!
 //! The pool implements the ARIES buffer policies (paper §1.2):
 //!
 //! * **steal**: eviction writes dirty pages regardless of transaction state,
 //!   after enforcing the **WAL rule** (log forced up to the victim's
 //!   `page_lsn` first);
-//! * **no-force**: nothing here flushes at commit; only checkpoints and
-//!   eviction write pages;
+//! * **no-force**: nothing here flushes at commit; only checkpoints,
+//!   eviction, and the background writer write pages;
 //! * a **dirty page table** records, for every dirty cached page, its
 //!   `rec_lsn` — the LSN of the first record that dirtied it — which fuzzy
-//!   checkpoints persist and restart's analysis pass rebuilds.
+//!   checkpoints persist and restart's analysis pass rebuilds. It is kept
+//!   per-shard (a page's DPT entry lives in the shard that owns its frame)
+//!   and merged on snapshot.
+//!
+//! **Background writer.** [`BufferPool::bg_tick`] writes back a bounded
+//! batch of dirty, unpinned pages (WAL rule per page) so foreground misses
+//! find clean victims and skip the force+write on the eviction path. An
+//! optional thread ([`PoolOptions::bg_writer`]) calls it on an interval;
+//! the torture harness calls it synchronously so the `pool.bgwriter.*`
+//! crash points are exercised deterministically.
 //!
 //! Latch acquisition supports conditional (`try_`) variants, used by the
 //! B+-tree to obey the paper's rule that nothing waits for a latch while
 //! holding an incompatible one out of order.
 
 use crate::disk::DiskManager;
+use crate::eviction::{EvictionPolicy, EvictionPolicyKind};
 use ariesim_common::stats::{Bump, StatsHandle};
 use ariesim_common::{Error, Lsn, PageBuf, PageId, Result};
 use ariesim_fault::crash_point;
 use ariesim_obs::lockdep;
-use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle, SpanKind};
+use ariesim_obs::{EventKind, MetricsRegistry, ModeTag, Obs, ObsHandle, SpanKind};
 use ariesim_wal::{DptEntry, LogManager};
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Duration;
 
 type ReadLatch = ArcRwLockReadGuard<RawRwLock, PageBuf>;
 type WriteLatch = ArcRwLockWriteGuard<RawRwLock, PageBuf>;
@@ -64,73 +89,144 @@ pub fn take_latch_high_water() -> u32 {
     })
 }
 
+/// Default partition count requested when [`PoolOptions::partitions`] is 0.
+pub const DEFAULT_PARTITIONS: usize = 8;
+
 /// Pool tuning.
 #[derive(Clone, Debug)]
 pub struct PoolOptions {
     /// Number of buffer frames.
     pub frames: usize,
+    /// Page-table partitions; 0 = auto ([`DEFAULT_PARTITIONS`], bounded so
+    /// every partition owns at least 16 frames). Explicit values are
+    /// likewise clamped — a tiny pool collapses to one partition rather
+    /// than starving a partition of frames for its pin chains.
+    pub partitions: usize,
+    /// Replacement policy run by each partition.
+    pub policy: EvictionPolicyKind,
+    /// Spawn a background writer thread ticking at this interval. `None`
+    /// (the default) leaves write-back on the foreground paths; callers can
+    /// still drive [`BufferPool::bg_tick`] by hand.
+    pub bg_writer: Option<Duration>,
+    /// Max dirty pages written back per background-writer tick.
+    pub bg_batch: usize,
 }
 
 impl Default for PoolOptions {
     fn default() -> Self {
-        PoolOptions { frames: 256 }
+        PoolOptions {
+            frames: 256,
+            partitions: 0,
+            policy: EvictionPolicyKind::Clock,
+            bg_writer: None,
+            bg_batch: 8,
+        }
+    }
+}
+
+impl PoolOptions {
+    /// Partition count actually used: every partition must own enough
+    /// frames for the deepest simultaneous pin chain with slack, so the
+    /// request is clamped to `frames / 16` (min 1, max 64 partitions).
+    pub fn effective_partitions(&self) -> usize {
+        let requested = if self.partitions == 0 {
+            DEFAULT_PARTITIONS
+        } else {
+            self.partitions
+        };
+        requested.clamp(1, (self.frames / 16).max(1)).min(64)
     }
 }
 
 #[derive(Clone, Copy)]
 struct FrameMeta {
     page: PageId,
-    pins: u32,
     dirty: bool,
-    last_used: u64,
 }
 
 impl FrameMeta {
     const FREE: FrameMeta = FrameMeta {
         page: PageId::NULL,
-        pins: 0,
         dirty: false,
-        last_used: 0,
     };
 }
 
-struct PoolInner {
-    table: HashMap<PageId, usize>,
-    meta: Vec<FrameMeta>,
-    /// Dirty page table: page → rec_lsn.
-    dpt: HashMap<PageId, Lsn>,
-    tick: u64,
+/// One buffer frame: the latched page image plus its pin count. The pin
+/// count is outside every mutex — pinning from a hit happens under the
+/// owning shard's mutex (so eviction, which also holds it, cannot race),
+/// re-pinning from an existing pin and *all* unpinning are plain atomics.
+struct Frame {
+    buf: Arc<RwLock<PageBuf>>,
+    pins: AtomicU32,
 }
 
-/// Pool-mutex guard that reports its acquisition/release to the lockdep
-/// graph, so a pool-mutex-held-across-a-latch-wait bug shows up as an
+/// Per-partition traffic counters (relaxed atomics; exposed per shard by
+/// [`BufferPool::register_metrics`] and summed into `obs.pool`).
+#[derive(Default)]
+pub struct ShardCounters {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+    /// Shard-mutex acquisitions that found the mutex already held.
+    pub contended: AtomicU64,
+}
+
+/// Mutable state of one partition, guarded by the shard mutex.
+struct ShardInner {
+    /// Page → partition-local frame index.
+    table: HashMap<PageId, usize>,
+    meta: Vec<FrameMeta>,
+    /// Dirty page table slice: page → rec_lsn, for pages framed here.
+    dpt: HashMap<PageId, Lsn>,
+    policy: Box<dyn EvictionPolicy>,
+}
+
+struct Shard {
+    /// Global index of this partition's frame 0.
+    base: usize,
+    inner: Mutex<ShardInner>,
+    counters: ShardCounters,
+}
+
+/// Shard-mutex guard that reports its acquisition/release to the lockdep
+/// graph, so a shard-held-across-a-latch-wait bug shows up as an
 /// order-violating edge rather than a silent hang.
-struct InnerGuard<'a>(parking_lot::MutexGuard<'a, PoolInner>);
+struct ShardGuard<'a>(parking_lot::MutexGuard<'a, ShardInner>);
 
-impl std::ops::Deref for InnerGuard<'_> {
-    type Target = PoolInner;
+impl std::ops::Deref for ShardGuard<'_> {
+    type Target = ShardInner;
 
-    fn deref(&self) -> &PoolInner {
+    fn deref(&self) -> &ShardInner {
         &self.0
     }
 }
 
-impl std::ops::DerefMut for InnerGuard<'_> {
-    fn deref_mut(&mut self) -> &mut PoolInner {
+impl std::ops::DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ShardInner {
         &mut self.0
     }
 }
 
-impl Drop for InnerGuard<'_> {
+impl Drop for ShardGuard<'_> {
     fn drop(&mut self) {
-        lockdep::released(lockdep::Class::PoolMutex);
+        lockdep::released(lockdep::Class::PoolShard);
     }
+}
+
+/// Handle on the spawned background-writer thread.
+struct BgWriter {
+    /// Dropping the sender wakes and stops the thread.
+    stop: Option<mpsc::Sender<()>>,
+    handle: Option<std::thread::JoinHandle<()>>,
 }
 
 /// The buffer pool. Use through `Arc` — page guards keep the pool alive.
 pub struct BufferPool {
-    slots: Vec<Arc<RwLock<PageBuf>>>,
-    inner: Mutex<PoolInner>,
+    frames: Vec<Frame>,
+    shards: Vec<Shard>,
+    policy_name: &'static str,
+    bg_batch: usize,
+    bg: Mutex<Option<BgWriter>>,
     disk: DiskManager,
     log: Arc<LogManager>,
     stats: StatsHandle,
@@ -155,30 +251,48 @@ impl BufferPool {
         obs: ObsHandle,
     ) -> Arc<BufferPool> {
         assert!(opts.frames >= 8, "pool too small to be useful");
-        Arc::new(BufferPool {
-            slots: (0..opts.frames)
-                .map(|_| Arc::new(RwLock::new(PageBuf::zeroed())))
+        let n = opts.effective_partitions();
+        // Distribute frames: the first `frames % n` shards get one extra.
+        let mut shards = Vec::with_capacity(n);
+        let mut base = 0;
+        for sid in 0..n {
+            let len = opts.frames / n + usize::from(sid < opts.frames % n);
+            shards.push(Shard {
+                base,
+                inner: Mutex::new(ShardInner {
+                    table: HashMap::new(),
+                    meta: vec![FrameMeta::FREE; len],
+                    dpt: HashMap::new(),
+                    policy: opts.policy.build(len),
+                }),
+                counters: ShardCounters::default(),
+            });
+            base += len;
+        }
+        let pool = Arc::new(BufferPool {
+            frames: (0..opts.frames)
+                .map(|_| Frame {
+                    buf: Arc::new(RwLock::new(PageBuf::zeroed())),
+                    pins: AtomicU32::new(0),
+                })
                 .collect(),
-            inner: Mutex::new(PoolInner {
-                table: HashMap::new(),
-                meta: vec![FrameMeta::FREE; opts.frames],
-                dpt: HashMap::new(),
-                tick: 1,
-            }),
+            shards,
+            policy_name: opts.policy.name(),
+            bg_batch: opts.bg_batch.max(1),
+            bg: Mutex::new(None),
             disk,
             log,
             stats,
             obs,
-        })
+        });
+        if let Some(interval) = opts.bg_writer {
+            *pool.bg.lock() = spawn_bg_writer(&pool, interval);
+        }
+        pool
     }
 
     pub fn obs(&self) -> &ObsHandle {
         &self.obs
-    }
-
-    fn lock_inner(&self, site: &'static str) -> InnerGuard<'_> {
-        lockdep::acquired(lockdep::Class::PoolMutex, site, true);
-        InnerGuard(self.inner.lock())
     }
 
     pub fn stats(&self) -> &StatsHandle {
@@ -187,6 +301,91 @@ impl BufferPool {
 
     pub fn disk(&self) -> &DiskManager {
         &self.disk
+    }
+
+    /// Number of page-table partitions in use.
+    pub fn partitions(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Name of the eviction policy the partitions run.
+    pub fn eviction_policy(&self) -> &'static str {
+        self.policy_name
+    }
+
+    /// Per-partition counter snapshot: `(hits, misses, evictions,
+    /// contended)` per shard.
+    pub fn shard_stats(&self) -> Vec<(u64, u64, u64, u64)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                (
+                    s.counters.hits.load(Ordering::Relaxed),
+                    s.counters.misses.load(Ordering::Relaxed),
+                    s.counters.evictions.load(Ordering::Relaxed),
+                    s.counters.contended.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Sum of all frame pin counts (test oracle for pin balance).
+    pub fn total_pins(&self) -> u64 {
+        self.frames
+            .iter()
+            .map(|f| f.pins.load(Ordering::Acquire) as u64)
+            .sum()
+    }
+
+    /// Register per-partition counters into `reg` as
+    /// `pool_shard_<i>_{hits,misses,evictions,contended}`.
+    pub fn register_metrics(self: &Arc<Self>, reg: &MetricsRegistry) {
+        for sid in 0..self.shards.len() {
+            let p = self.clone();
+            reg.register_counter(
+                &format!("pool_shard_{sid}_hits"),
+                "per-partition buffer-pool page-table hits",
+                move || p.shards[sid].counters.hits.load(Ordering::Relaxed),
+            );
+            let p = self.clone();
+            reg.register_counter(
+                &format!("pool_shard_{sid}_misses"),
+                "per-partition buffer-pool misses",
+                move || p.shards[sid].counters.misses.load(Ordering::Relaxed),
+            );
+            let p = self.clone();
+            reg.register_counter(
+                &format!("pool_shard_{sid}_evictions"),
+                "per-partition buffer-pool evictions",
+                move || p.shards[sid].counters.evictions.load(Ordering::Relaxed),
+            );
+            let p = self.clone();
+            reg.register_counter(
+                &format!("pool_shard_{sid}_contended"),
+                "per-partition shard-mutex acquisitions that found it held",
+                move || p.shards[sid].counters.contended.load(Ordering::Relaxed),
+            );
+        }
+    }
+
+    fn shard_of(&self, page: PageId) -> usize {
+        // Fibonacci hashing spreads the mostly-sequential PageIds evenly.
+        let h = (page.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (h as usize) % self.shards.len()
+    }
+
+    fn lock_shard(&self, sid: usize, site: &'static str) -> ShardGuard<'_> {
+        let shard = &self.shards[sid];
+        lockdep::acquired(lockdep::Class::PoolShard, site, true);
+        let inner = match shard.inner.try_lock() {
+            Some(g) => g,
+            None => {
+                shard.counters.contended.fetch_add(1, Ordering::Relaxed);
+                self.obs.pool.shard_contended.fetch_add(1, Ordering::Relaxed);
+                shard.inner.lock()
+            }
+        };
+        ShardGuard(inner)
     }
 
     // --- fixing ---------------------------------------------------------
@@ -213,43 +412,28 @@ impl BufferPool {
         self.fix_exclusive(page, true)
     }
 
+    /// Fix `page` without latching it: the returned pin keeps the frame
+    /// resident, and its [`PinGuard::latch_s`]/[`PinGuard::latch_x`] latch
+    /// the page again without any shard lookup. This is the fast re-access
+    /// path for callers that revisit the same page repeatedly (redo loops,
+    /// standby apply).
+    pub fn pin(self: &Arc<Self>, page: PageId) -> Result<PinGuard> {
+        self.stats.page_fixes.bump();
+        match self.claim(page)? {
+            Claimed::Hit(pin) => Ok(pin),
+            Claimed::Loaded(latch, pin) => {
+                drop(latch);
+                lockdep::released(lockdep::Class::PageLatch);
+                Ok(pin)
+            }
+        }
+    }
+
     fn fix_shared(self: &Arc<Self>, page: PageId, conditional: bool) -> Result<PageReadGuard> {
         self.stats.page_fixes.bump();
         match self.claim(page)? {
-            Claimed::Hit(slot, idx) => {
-                let latch = if conditional {
-                    match slot.try_read_arc() {
-                        Some(g) => g,
-                        None => {
-                            self.unpin(idx);
-                            return Err(Error::WouldBlock);
-                        }
-                    }
-                } else {
-                    match slot.try_read_arc() {
-                        Some(g) => g,
-                        None => {
-                            self.stats.latch_page_waits.bump();
-                            let wait = self.obs.timer();
-                            let span = self.obs.span(SpanKind::LatchWait, 0, page.0);
-                            let g = slot.read_arc();
-                            drop(span);
-                            self.obs.hist.latch_wait_page.record_since(wait);
-                            g
-                        }
-                    }
-                };
-                self.stats.latches_page.bump();
-                latch_depth_inc();
-                lockdep::acquired(lockdep::Class::PageLatch, "storage::pool::fix_s", !conditional);
-                self.note_latch_acquired(page, ModeTag::S);
-                Ok(PageReadGuard {
-                    latch: Some(latch),
-                    pool: self.clone(),
-                    frame: idx,
-                })
-            }
-            Claimed::Loaded(wlatch, idx) => {
+            Claimed::Hit(pin) => self.latch_frame_s(pin, conditional, "storage::pool::fix_s"),
+            Claimed::Loaded(wlatch, pin) => {
                 // The latch was already acquired (and lockdep-recorded)
                 // inside `claim`, under the load I/O.
                 self.stats.latches_page.bump();
@@ -257,8 +441,7 @@ impl BufferPool {
                 self.note_latch_acquired(page, ModeTag::S);
                 Ok(PageReadGuard {
                     latch: Some(ArcRwLockWriteGuard::downgrade(wlatch)),
-                    pool: self.clone(),
-                    frame: idx,
+                    pin,
                 })
             }
         }
@@ -267,51 +450,81 @@ impl BufferPool {
     fn fix_exclusive(self: &Arc<Self>, page: PageId, conditional: bool) -> Result<PageWriteGuard> {
         self.stats.page_fixes.bump();
         match self.claim(page)? {
-            Claimed::Hit(slot, idx) => {
-                let latch = if conditional {
-                    match slot.try_write_arc() {
-                        Some(g) => g,
-                        None => {
-                            self.unpin(idx);
-                            return Err(Error::WouldBlock);
-                        }
-                    }
-                } else {
-                    match slot.try_write_arc() {
-                        Some(g) => g,
-                        None => {
-                            self.stats.latch_page_waits.bump();
-                            let wait = self.obs.timer();
-                            let span = self.obs.span(SpanKind::LatchWait, 0, page.0);
-                            let g = slot.write_arc();
-                            drop(span);
-                            self.obs.hist.latch_wait_page.record_since(wait);
-                            g
-                        }
-                    }
-                };
-                self.stats.latches_page.bump();
-                latch_depth_inc();
-                lockdep::acquired(lockdep::Class::PageLatch, "storage::pool::fix_x", !conditional);
-                self.note_latch_acquired(page, ModeTag::X);
-                Ok(PageWriteGuard {
-                    latch: Some(latch),
-                    pool: self.clone(),
-                    frame: idx,
-                })
-            }
-            Claimed::Loaded(wlatch, idx) => {
+            Claimed::Hit(pin) => self.latch_frame_x(pin, conditional, "storage::pool::fix_x"),
+            Claimed::Loaded(wlatch, pin) => {
                 // Latch acquired (and lockdep-recorded) inside `claim`.
                 self.stats.latches_page.bump();
                 latch_depth_inc();
                 self.note_latch_acquired(page, ModeTag::X);
                 Ok(PageWriteGuard {
                     latch: Some(wlatch),
-                    pool: self.clone(),
-                    frame: idx,
+                    pin,
                 })
             }
         }
+    }
+
+    /// Latch an already-pinned frame shared. On a conditional miss the pin
+    /// is dropped (one atomic) and [`Error::WouldBlock`] returned.
+    fn latch_frame_s(
+        &self,
+        pin: PinGuard,
+        conditional: bool,
+        site: &'static str,
+    ) -> Result<PageReadGuard> {
+        let slot = self.frames[pin.frame].buf.clone();
+        let latch = match slot.try_read_arc() {
+            Some(g) => g,
+            None if conditional => return Err(Error::WouldBlock),
+            None => {
+                self.stats.latch_page_waits.bump();
+                let wait = self.obs.timer();
+                let span = self.obs.span(SpanKind::LatchWait, 0, pin.page.0);
+                let g = slot.read_arc();
+                drop(span);
+                self.obs.hist.latch_wait_page.record_since(wait);
+                g
+            }
+        };
+        self.stats.latches_page.bump();
+        latch_depth_inc();
+        lockdep::acquired(lockdep::Class::PageLatch, site, !conditional);
+        self.note_latch_acquired(pin.page, ModeTag::S);
+        Ok(PageReadGuard {
+            latch: Some(latch),
+            pin,
+        })
+    }
+
+    /// Latch an already-pinned frame exclusive; see [`Self::latch_frame_s`].
+    fn latch_frame_x(
+        &self,
+        pin: PinGuard,
+        conditional: bool,
+        site: &'static str,
+    ) -> Result<PageWriteGuard> {
+        let slot = self.frames[pin.frame].buf.clone();
+        let latch = match slot.try_write_arc() {
+            Some(g) => g,
+            None if conditional => return Err(Error::WouldBlock),
+            None => {
+                self.stats.latch_page_waits.bump();
+                let wait = self.obs.timer();
+                let span = self.obs.span(SpanKind::LatchWait, 0, pin.page.0);
+                let g = slot.write_arc();
+                drop(span);
+                self.obs.hist.latch_wait_page.record_since(wait);
+                g
+            }
+        };
+        self.stats.latches_page.bump();
+        latch_depth_inc();
+        lockdep::acquired(lockdep::Class::PageLatch, site, !conditional);
+        self.note_latch_acquired(pin.page, ModeTag::X);
+        Ok(PageWriteGuard {
+            latch: Some(latch),
+            pin,
+        })
     }
 
     fn note_latch_acquired(&self, page: PageId, mode: ModeTag) {
@@ -325,65 +538,92 @@ impl BufferPool {
         self.obs.event(EventKind::LatchRelease, mode, 0, page, 0);
     }
 
+    /// Ring evidence of the WAL rule: a dirty page hit disk at `page_lsn`
+    /// while the log was durable to `durable` (`durable >= page_lsn` must
+    /// hold on every such event; tests check the dump).
+    fn note_write_back(&self, page: PageId, page_lsn: Lsn) {
+        let durable = self.log.flushed_lsn();
+        self.obs.event(
+            EventKind::PageWriteBack,
+            ModeTag::None,
+            durable.0,
+            page.0,
+            page_lsn.0,
+        );
+    }
+
     /// Pin `page`'s frame, loading it from disk if absent. On a miss, the
     /// returned write latch is already held (the load I/O happened under it).
     fn claim(self: &Arc<Self>, page: PageId) -> Result<Claimed> {
         debug_assert!(!page.is_null(), "fix of NULL page");
+        let sid = self.shard_of(page);
         loop {
-            let mut g = self.lock_inner("storage::pool::claim");
-            if let Some(&idx) = g.table.get(&page) {
-                g.meta[idx].pins += 1;
-                g.tick += 1;
-                let t = g.tick;
-                g.meta[idx].last_used = t;
-                let slot = self.slots[idx].clone();
-                return Ok(Claimed::Hit(slot, idx));
+            let mut g = self.lock_shard(sid, "storage::pool::claim");
+            if let Some(&local) = g.table.get(&page) {
+                let gidx = self.shards[sid].base + local;
+                self.frames[gidx].pins.fetch_add(1, Ordering::AcqRel);
+                g.policy.on_hit(local);
+                drop(g);
+                self.shards[sid].counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.pool.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Claimed::Hit(PinGuard {
+                    pool: self.clone(),
+                    frame: gidx,
+                    page,
+                }));
             }
-            // Miss: pick the least-recently-used unpinned frame whose latch
-            // is free (pins==0 implies free in our usage; try_write confirms).
+            // Miss: the policy proposes victims among this shard's frames;
+            // a frame is accepted only if unpinned *and* its latch is free
+            // (the conditional write latch is claimed inside the callback
+            // and kept for the eviction + load I/O).
+            let base = self.shards[sid].base;
+            let mut wlatch: Option<WriteLatch> = None;
+            let mut latch_busy = false;
             let victim = {
-                let mut best: Option<(usize, u64)> = None;
-                for (i, m) in g.meta.iter().enumerate() {
-                    if m.pins == 0 {
-                        match best {
-                            Some((_, lu)) if m.last_used >= lu => {}
-                            _ => best = Some((i, m.last_used)),
+                let inner: &mut ShardInner = &mut g;
+                let frames = &self.frames;
+                inner.policy.victim(&mut |local| {
+                    let fr = &frames[base + local];
+                    if fr.pins.load(Ordering::Acquire) != 0 {
+                        return false;
+                    }
+                    match fr.buf.try_write_arc() {
+                        Some(w) => {
+                            wlatch = Some(w);
+                            true
+                        }
+                        None => {
+                            // pins==0 yet latch held: a checkpoint fence is
+                            // walking the frames. Transient.
+                            latch_busy = true;
+                            false
                         }
                     }
-                }
-                best
+                })
             };
-            let Some((idx, _)) = victim else {
+            let (Some(local), Some(latch)) = (victim, wlatch) else {
+                drop(g);
+                if latch_busy {
+                    std::thread::yield_now();
+                    continue;
+                }
                 return Err(Error::BufferPoolFull);
             };
-            let Some(wlatch) = self.slots[idx].try_write_arc() else {
-                // Someone holds the latch without a pin — not our discipline,
-                // but tolerate by retrying.
-                drop(g);
-                std::thread::yield_now();
-                continue;
-            };
-            let old = g.meta[idx];
-            if !old.page.is_null() {
-                g.table.remove(&old.page);
-            }
-            g.table.insert(page, idx);
-            g.tick += 1;
-            let t = g.tick;
-            g.meta[idx] = FrameMeta {
-                page,
-                pins: 1,
-                dirty: false,
-                last_used: t,
-            };
+            let old = g.meta[local];
+            let gidx = base + local;
             drop(g);
-            // I/O outside the pool mutex, under the frame's write latch.
+            // The old mapping stays in the table until the write-back below
+            // completes: a concurrent fix of the old page must HIT this
+            // frame (and block on our latch), never miss and fault a stale
+            // image in from disk while the newest version only exists here.
+            //
+            // I/O outside the shard mutex, under the frame's write latch.
             // The latch was obtained with a trylock, so it joins the lockdep
             // held set without an ordering edge.
             lockdep::acquired(lockdep::Class::PageLatch, "storage::pool::claim.load", false);
-            let mut latch = wlatch;
-            let loaded = (|| {
-                if old.dirty {
+            let mut latch = latch;
+            if old.dirty {
+                let written = (|| {
                     crash_point!("pool.evict.begin");
                     // WAL rule: the log must cover the page before it hits
                     // disk.
@@ -396,8 +636,55 @@ impl BufferPool {
                     }
                     crash_point!("pool.evict.after_write");
                     self.obs.hist.page_write.record_since(io);
-                    self.lock_inner("storage::pool::claim.dpt").dpt.remove(&old.page);
+                    self.note_write_back(old.page, latch.page_lsn());
+                    Ok(())
+                })();
+                if let Err(e) = written {
+                    drop(latch);
+                    lockdep::released(lockdep::Class::PageLatch);
+                    return Err(e);
                 }
+            }
+            // Re-take the shard mutex to complete the eviction. A thread
+            // may have hit the old page while we wrote it back (pinning the
+            // frame, then blocking on our latch): in that case the frame
+            // must keep the old page — record the write-back (the image on
+            // disk is current; we held the write latch throughout) and pick
+            // another victim.
+            let mut g = self.lock_shard(sid, "storage::pool::claim.install");
+            if self.frames[gidx].pins.load(Ordering::Acquire) != 0 {
+                if old.dirty {
+                    g.meta[local].dirty = false;
+                    g.dpt.remove(&old.page);
+                }
+                drop(g);
+                drop(latch);
+                lockdep::released(lockdep::Class::PageLatch);
+                std::thread::yield_now();
+                continue;
+            }
+            if !old.page.is_null() {
+                g.table.remove(&old.page);
+                g.dpt.remove(&old.page);
+            }
+            g.table.insert(page, local);
+            g.meta[local] = FrameMeta { page, dirty: false };
+            g.policy.on_load(local);
+            let prev = self.frames[gidx].pins.fetch_add(1, Ordering::AcqRel);
+            debug_assert_eq!(prev, 0, "victim frame was pinned");
+            drop(g);
+            self.shards[sid].counters.misses.fetch_add(1, Ordering::Relaxed);
+            self.obs.pool.misses.fetch_add(1, Ordering::Relaxed);
+            if !old.page.is_null() {
+                self.shards[sid].counters.evictions.fetch_add(1, Ordering::Relaxed);
+                self.obs.pool.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            let pin = PinGuard {
+                pool: self.clone(),
+                frame: gidx,
+                page,
+            };
+            let loaded = (|| {
                 let io = self.obs.timer();
                 {
                     let _span = self.obs.span(SpanKind::PageRead, 0, page.0);
@@ -407,23 +694,35 @@ impl BufferPool {
                 Ok(())
             })();
             if let Err(e) = loaded {
+                // Unwind the install: drop the mapping (the frame holds
+                // garbage for `page`) before releasing latch and pin.
+                {
+                    let mut g = self.lock_shard(sid, "storage::pool::claim.unwind");
+                    if g.table.get(&page) == Some(&local) {
+                        g.table.remove(&page);
+                        g.meta[local] = FrameMeta::FREE;
+                    }
+                }
+                drop(latch);
                 lockdep::released(lockdep::Class::PageLatch);
+                drop(pin);
                 return Err(e);
             }
-            return Ok(Claimed::Loaded(latch, idx));
+            return Ok(Claimed::Loaded(latch, pin));
         }
     }
 
-    fn unpin(&self, idx: usize) {
-        let mut g = self.lock_inner("storage::pool::unpin");
-        debug_assert!(g.meta[idx].pins > 0);
-        g.meta[idx].pins -= 1;
+    fn unpin_frame(&self, frame: usize) {
+        let prev = self.frames[frame].pins.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "unpin of unpinned frame");
     }
 
-    fn mark_dirty(&self, idx: usize, rec_lsn: Lsn) {
-        let mut g = self.lock_inner("storage::pool::mark_dirty");
-        let page = g.meta[idx].page;
-        g.meta[idx].dirty = true;
+    fn mark_dirty(&self, page: PageId, rec_lsn: Lsn) {
+        let sid = self.shard_of(page);
+        let mut g = self.lock_shard(sid, "storage::pool::mark_dirty");
+        if let Some(&local) = g.table.get(&page) {
+            g.meta[local].dirty = true;
+        }
         g.dpt.entry(page).or_insert(rec_lsn);
     }
 
@@ -432,9 +731,10 @@ impl BufferPool {
     /// Write `page` to disk if it is cached and dirty (WAL rule enforced).
     pub fn flush_page(self: &Arc<Self>, page: PageId) -> Result<()> {
         let guard = self.fix_s(page)?;
+        let sid = self.shard_of(page);
         let dirty = {
-            let g = self.lock_inner("storage::pool::flush_page");
-            g.meta[guard.frame].dirty
+            let g = self.lock_shard(sid, "storage::pool::flush_page");
+            g.table.get(&page).is_some_and(|&l| g.meta[l].dirty)
         };
         if dirty {
             crash_point!("pool.flush.begin");
@@ -447,8 +747,11 @@ impl BufferPool {
             }
             crash_point!("pool.flush.after_write");
             self.obs.hist.page_write.record_since(io);
-            let mut g = self.lock_inner("storage::pool::flush_page");
-            g.meta[guard.frame].dirty = false;
+            self.note_write_back(page, guard.page_lsn());
+            let mut g = self.lock_shard(sid, "storage::pool::flush_page");
+            if let Some(&local) = g.table.get(&page) {
+                g.meta[local].dirty = false;
+            }
             g.dpt.remove(&page);
         }
         Ok(())
@@ -456,15 +759,102 @@ impl BufferPool {
 
     /// Flush every dirty page (clean shutdown / heavyweight checkpoint).
     pub fn flush_all(self: &Arc<Self>) -> Result<()> {
-        let pages: Vec<PageId> = {
-            let g = self.lock_inner("storage::pool::flush_all");
-            g.dpt.keys().copied().collect()
-        };
-        for p in pages {
+        for p in self.dirty_pages(usize::MAX) {
             self.flush_page(p)?;
         }
         Ok(())
     }
+
+    /// Up to `limit` dirty pages, in (shard, page) order.
+    fn dirty_pages(&self, limit: usize) -> Vec<PageId> {
+        let mut pages = Vec::new();
+        for sid in 0..self.shards.len() {
+            if pages.len() >= limit {
+                break;
+            }
+            let g = self.lock_shard(sid, "storage::pool::dirty_pages");
+            let mut v: Vec<PageId> = g.dpt.keys().copied().collect();
+            drop(g);
+            v.sort();
+            v.truncate(limit - pages.len());
+            pages.extend(v);
+        }
+        pages
+    }
+
+    // --- background writer ----------------------------------------------
+
+    /// One background-writer pass: write back up to [`PoolOptions::bg_batch`]
+    /// dirty, unpinned pages (WAL rule enforced per page), round-robin over
+    /// the partitions. Never faults a page in, never waits for a latch —
+    /// hot pages are simply skipped this tick. Returns pages written.
+    ///
+    /// This is the body of the optional background thread, exposed
+    /// synchronously so tests and the torture harness drive the
+    /// `pool.bgwriter.*` crash points deterministically on their own thread.
+    pub fn bg_tick(self: &Arc<Self>) -> Result<usize> {
+        let mut written = 0usize;
+        for page in self.dirty_pages(self.bg_batch) {
+            if written > 0 {
+                crash_point!("pool.bgwriter.mid_batch");
+            }
+            written += self.bg_write_back(page)?;
+        }
+        Ok(written)
+    }
+
+    /// Write back one dirty page if it is still resident, clean it in the
+    /// DPT, and leave the WAL-rule trail in the event ring.
+    fn bg_write_back(self: &Arc<Self>, page: PageId) -> Result<usize> {
+        let sid = self.shard_of(page);
+        // Pin only if still resident (no fault-in), then conditionally
+        // S-latch (no stalling behind foreground X traffic).
+        let pin = {
+            let g = self.lock_shard(sid, "storage::pool::bg_pin");
+            let Some(&local) = g.table.get(&page) else {
+                return Ok(0);
+            };
+            let gidx = self.shards[sid].base + local;
+            self.frames[gidx].pins.fetch_add(1, Ordering::AcqRel);
+            // Deliberately no `policy.on_hit`: the writer must not make
+            // pages look hot.
+            PinGuard {
+                pool: self.clone(),
+                frame: gidx,
+                page,
+            }
+        };
+        let Ok(guard) = self.latch_frame_s(pin, true, "storage::pool::bg_latch") else {
+            return Ok(0);
+        };
+        let dirty = {
+            let g = self.lock_shard(sid, "storage::pool::bg_dirty");
+            g.table.get(&page).is_some_and(|&l| g.meta[l].dirty)
+        };
+        if !dirty {
+            return Ok(0);
+        }
+        // WAL rule, off the foreground path: force first, then write.
+        self.log.flush_to(guard.page_lsn())?;
+        crash_point!("pool.bgwriter.after_force");
+        let io = self.obs.timer();
+        {
+            let _span = self.obs.span(SpanKind::PageWrite, 0, page.0);
+            self.disk.write_page(&guard)?;
+        }
+        crash_point!("pool.bgwriter.after_write");
+        self.obs.hist.page_write.record_since(io);
+        self.obs.pool.bg_writer_pages.fetch_add(1, Ordering::Relaxed);
+        self.note_write_back(page, guard.page_lsn());
+        let mut g = self.lock_shard(sid, "storage::pool::bg_clean");
+        if let Some(&local) = g.table.get(&page) {
+            g.meta[local].dirty = false;
+        }
+        g.dpt.remove(&page);
+        Ok(1)
+    }
+
+    // --- checkpoint support ---------------------------------------------
 
     /// Snapshot of the dirty page table **for checkpoints**: first passes a
     /// fence over every resident frame (acquire + release its S latch).
@@ -478,17 +868,20 @@ impl BufferPool {
     /// logged before the fence has completed its registration. New updates
     /// (LSN > CkptBegin) are covered by the analysis scan itself.
     pub fn dpt_snapshot_fenced(&self) -> Vec<DptEntry> {
-        let resident: Vec<usize> = {
-            let g = self.lock_inner("storage::pool::dpt_fence");
-            g.meta
-                .iter()
-                .enumerate()
-                .filter_map(|(i, m)| (!m.page.is_null()).then_some(i))
-                .collect()
-        };
+        let mut resident = Vec::new();
+        for sid in 0..self.shards.len() {
+            let g = self.lock_shard(sid, "storage::pool::dpt_fence");
+            let base = self.shards[sid].base;
+            resident.extend(
+                g.meta
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, m)| (!m.page.is_null()).then_some(base + i)),
+            );
+        }
         for idx in resident {
             lockdep::acquired(lockdep::Class::PageLatch, "storage::pool::dpt_fence", true);
-            drop(self.slots[idx].read_arc());
+            drop(self.frames[idx].buf.read_arc());
             lockdep::released(lockdep::Class::PageLatch);
         }
         self.dpt_snapshot()
@@ -496,34 +889,159 @@ impl BufferPool {
 
     /// Snapshot of the dirty page table, for fuzzy checkpoints.
     pub fn dpt_snapshot(&self) -> Vec<DptEntry> {
-        let g = self.lock_inner("storage::pool::dpt_snapshot");
-        let mut v: Vec<DptEntry> = g
-            .dpt
-            .iter()
-            .map(|(&page, &rec_lsn)| DptEntry { page, rec_lsn })
-            .collect();
+        let mut v: Vec<DptEntry> = Vec::new();
+        for sid in 0..self.shards.len() {
+            let g = self.lock_shard(sid, "storage::pool::dpt_snapshot");
+            v.extend(
+                g.dpt
+                    .iter()
+                    .map(|(&page, &rec_lsn)| DptEntry { page, rec_lsn }),
+            );
+        }
         v.sort_by_key(|e| e.page);
         v
     }
 
     /// True if `page` is currently cached (for tests).
     pub fn is_cached(&self, page: PageId) -> bool {
-        self.lock_inner("storage::pool::is_cached").table.contains_key(&page)
+        let sid = self.shard_of(page);
+        self.lock_shard(sid, "storage::pool::is_cached").table.contains_key(&page)
     }
 }
 
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        // Stop and join the background writer. If the pool's last reference
+        // was dropped *by* the writer thread (it upgrades its Weak during a
+        // tick), joining would self-deadlock — detach instead; the thread
+        // exits on its next disconnected recv.
+        let bg = self.bg.lock().take();
+        if let Some(mut bg) = bg {
+            bg.stop.take();
+            if let Some(h) = bg.handle.take() {
+                if h.thread().id() != std::thread::current().id() {
+                    let _ = h.join();
+                }
+            }
+        }
+    }
+}
+
+/// Spawn the interval background-writer thread. It holds only a `Weak` to
+/// the pool, so dropping the last external handle stops it promptly.
+fn spawn_bg_writer(pool: &Arc<BufferPool>, interval: Duration) -> Option<BgWriter> {
+    let weak = Arc::downgrade(pool);
+    let (tx, rx) = mpsc::channel::<()>();
+    let handle = std::thread::Builder::new()
+        .name("ariesim-bgwriter".into())
+        .spawn(move || {
+            // Ok(()) or Disconnected both mean the sender dropped: shut down.
+            while let Err(mpsc::RecvTimeoutError::Timeout) = rx.recv_timeout(interval) {
+                let Some(pool) = weak.upgrade() else { break };
+                // I/O errors are retried on the next tick; the foreground
+                // eviction path still enforces the WAL rule itself, so a
+                // sick writer degrades throughput, not correctness.
+                let _ = pool.bg_tick();
+            }
+        })
+        .ok()?;
+    Some(BgWriter {
+        stop: Some(tx),
+        handle: Some(handle),
+    })
+}
+
 enum Claimed {
-    /// Frame was resident: slot to latch + frame index (pin already taken).
-    Hit(Arc<RwLock<PageBuf>>, usize),
+    /// Frame was resident: pin already taken.
+    Hit(PinGuard),
     /// Frame was loaded under this already-held write latch.
-    Loaded(WriteLatch, usize),
+    Loaded(WriteLatch, PinGuard),
+}
+
+/// An RAII pin on one buffer frame: while any pin is live the frame cannot
+/// be evicted, so the page stays resident and re-latchable. Cloning a pin
+/// and dropping one are single atomic operations — no shard mutex, which is
+/// what makes the re-pin path of repeated page visits contention-free.
+pub struct PinGuard {
+    pool: Arc<BufferPool>,
+    /// Global frame index.
+    frame: usize,
+    page: PageId,
+}
+
+impl PinGuard {
+    /// The pinned page.
+    pub fn page(&self) -> PageId {
+        self.page
+    }
+
+    /// S-latch the pinned page (blocking). No shard lookup: the pin keeps
+    /// the frame's identity stable.
+    pub fn latch_s(&self) -> PageReadGuard {
+        match self
+            .pool
+            .latch_frame_s(self.clone(), false, "storage::pool::pin.latch_s")
+        {
+            Ok(g) => g,
+            Err(_) => unreachable!("blocking latch cannot fail"),
+        }
+    }
+
+    /// Conditionally S-latch the pinned page.
+    pub fn try_latch_s(&self) -> Result<PageReadGuard> {
+        self.pool
+            .latch_frame_s(self.clone(), true, "storage::pool::pin.latch_s")
+    }
+
+    /// X-latch the pinned page (blocking).
+    pub fn latch_x(&self) -> PageWriteGuard {
+        match self
+            .pool
+            .latch_frame_x(self.clone(), false, "storage::pool::pin.latch_x")
+        {
+            Ok(g) => g,
+            Err(_) => unreachable!("blocking latch cannot fail"),
+        }
+    }
+
+    /// Conditionally X-latch the pinned page.
+    pub fn try_latch_x(&self) -> Result<PageWriteGuard> {
+        self.pool
+            .latch_frame_x(self.clone(), true, "storage::pool::pin.latch_x")
+    }
+}
+
+impl Clone for PinGuard {
+    fn clone(&self) -> PinGuard {
+        // Safe without the shard mutex: we hold a pin, so the count is ≥ 1
+        // and eviction (which requires 0) cannot race the increment.
+        self.pool.frames[self.frame].pins.fetch_add(1, Ordering::AcqRel);
+        PinGuard {
+            pool: self.pool.clone(),
+            frame: self.frame,
+            page: self.page,
+        }
+    }
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        self.pool.unpin_frame(self.frame);
+    }
 }
 
 /// Shared (S-latched) fixed page. Dereferences to the page image.
 pub struct PageReadGuard {
     latch: Option<ReadLatch>,
-    pool: Arc<BufferPool>,
-    frame: usize,
+    pin: PinGuard,
+}
+
+impl PageReadGuard {
+    /// Take an extra pin on this page (one atomic; no shard lookup), so it
+    /// stays resident after the guard is dropped.
+    pub fn repin(&self) -> PinGuard {
+        self.pin.clone()
+    }
 }
 
 impl std::ops::Deref for PageReadGuard {
@@ -536,20 +1054,21 @@ impl std::ops::Deref for PageReadGuard {
 
 impl Drop for PageReadGuard {
     fn drop(&mut self) {
-        let page = self.latch.as_ref().map_or(0, |l| l.page_id().0);
-        // Latch released before the pin, preserving "pins==0 ⇒ latch free".
-        self.latch.take();
-        latch_depth_dec();
-        self.pool.note_latch_released(page, ModeTag::S);
-        self.pool.unpin(self.frame);
+        // Latch released before the pin (which drops with the struct),
+        // preserving "pins==0 ⇒ latch free".
+        if let Some(latch) = self.latch.take() {
+            let page = latch.page_id().0;
+            drop(latch);
+            latch_depth_dec();
+            self.pin.pool.note_latch_released(page, ModeTag::S);
+        }
     }
 }
 
 /// Exclusive (X-latched) fixed page.
 pub struct PageWriteGuard {
     latch: Option<WriteLatch>,
-    pool: Arc<BufferPool>,
-    frame: usize,
+    pin: PinGuard,
 }
 
 impl PageWriteGuard {
@@ -558,28 +1077,35 @@ impl PageWriteGuard {
     /// `rec_lsn` if it was clean).
     pub fn record_update(&mut self, lsn: Lsn) {
         self.latch.as_mut().expect("latch held").set_page_lsn(lsn);
-        self.pool.mark_dirty(self.frame, lsn);
+        self.pin.pool.mark_dirty(self.pin.page, lsn);
     }
 
     /// Mark dirty without stamping an LSN (used when formatting pages whose
     /// changes are covered by a following logged update).
     pub fn mark_dirty_raw(&mut self, rec_lsn: Lsn) {
-        self.pool.mark_dirty(self.frame, rec_lsn);
+        self.pin.pool.mark_dirty(self.pin.page, rec_lsn);
+    }
+
+    /// Take an extra pin on this page (one atomic; no shard lookup).
+    pub fn repin(&self) -> PinGuard {
+        self.pin.clone()
     }
 
     /// Downgrade to a shared guard without releasing the latch.
     pub fn downgrade(mut self) -> PageReadGuard {
         let latch = self.latch.take().expect("latch held");
         let page = latch.page_id().0;
-        self.pool.obs.event(EventKind::LatchRelease, ModeTag::X, 0, page, 0);
-        self.pool.obs.event(EventKind::LatchAcquire, ModeTag::S, 0, page, 0);
-        let guard = PageReadGuard {
+        let pin = self.pin.clone();
+        let pool = pin.pool.clone();
+        pool.obs.event(EventKind::LatchRelease, ModeTag::X, 0, page, 0);
+        pool.obs.event(EventKind::LatchAcquire, ModeTag::S, 0, page, 0);
+        // `self` now has no latch: its drop releases only the original pin,
+        // while `pin` holds the frame through the downgrade.
+        drop(self);
+        PageReadGuard {
             latch: Some(ArcRwLockWriteGuard::downgrade(latch)),
-            pool: self.pool.clone(),
-            frame: self.frame,
-        };
-        std::mem::forget(self); // pin transferred to the new guard
-        guard
+            pin,
+        }
     }
 }
 
@@ -599,11 +1125,12 @@ impl std::ops::DerefMut for PageWriteGuard {
 
 impl Drop for PageWriteGuard {
     fn drop(&mut self) {
-        let page = self.latch.as_ref().map_or(0, |l| l.page_id().0);
-        self.latch.take();
-        latch_depth_dec();
-        self.pool.note_latch_released(page, ModeTag::X);
-        self.pool.unpin(self.frame);
+        if let Some(latch) = self.latch.take() {
+            let page = latch.page_id().0;
+            drop(latch);
+            latch_depth_dec();
+            self.pin.pool.note_latch_released(page, ModeTag::X);
+        }
     }
 }
 
@@ -616,13 +1143,20 @@ mod tests {
     use ariesim_wal::LogOptions;
 
     fn setup(frames: usize) -> (TempDir, Arc<BufferPool>, Arc<LogManager>) {
+        setup_opts(PoolOptions {
+            frames,
+            ..PoolOptions::default()
+        })
+    }
+
+    fn setup_opts(opts: PoolOptions) -> (TempDir, Arc<BufferPool>, Arc<LogManager>) {
         let dir = TempDir::new("pool");
         let stats = new_stats();
         let log = Arc::new(
             LogManager::open(&dir.file("wal"), LogOptions::default(), stats.clone()).unwrap(),
         );
         let disk = DiskManager::open(&dir.file("db"), stats.clone()).unwrap();
-        let pool = BufferPool::new(disk, log.clone(), PoolOptions { frames }, stats);
+        let pool = BufferPool::new(disk, log.clone(), opts, stats);
         (dir, pool, log)
     }
 
@@ -760,6 +1294,9 @@ mod tests {
         // Another S guard can join while downgraded guard held.
         let r2 = pool.fix_s(PageId(5)).unwrap();
         assert_eq!(r2.owner(), 2);
+        drop(r2);
+        drop(r);
+        assert_eq!(pool.total_pins(), 0, "downgrade must not leak pins");
     }
 
     #[test]
@@ -799,6 +1336,159 @@ mod tests {
             }
         });
         // All pins released.
+        assert_eq!(pool.total_pins(), 0);
         assert!(pool.fix_s(PageId(1)).is_ok());
+    }
+
+    #[test]
+    fn partitions_spread_pages_and_auto_clamp() {
+        let (_d, pool, _log) = setup(8);
+        assert_eq!(pool.partitions(), 1, "tiny pool collapses to 1 shard");
+        let (_d2, pool2, _log2) = setup(256);
+        assert_eq!(pool2.partitions(), 8);
+        for i in 1..=64u32 {
+            format_page(&pool2, PageId(i));
+        }
+        let stats = pool2.shard_stats();
+        let used = stats.iter().filter(|&&(_, m, _, _)| m > 0).count();
+        assert!(used >= 4, "pages should land in several partitions: {stats:?}");
+        // Per-shard misses sum to the 64 loads.
+        assert_eq!(stats.iter().map(|&(_, m, _, _)| m).sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn explicit_partition_request_is_honored() {
+        let (_d, pool, _log) = setup_opts(PoolOptions {
+            frames: 64,
+            partitions: 4,
+            ..PoolOptions::default()
+        });
+        assert_eq!(pool.partitions(), 4);
+        // Every page is reachable regardless of which shard it hashes to.
+        for i in 1..=128u32 {
+            format_page(&pool, PageId(i));
+        }
+        assert_eq!(pool.total_pins(), 0);
+    }
+
+    #[test]
+    fn lru_k_policy_drives_the_pool() {
+        let (_d, pool, _log) = setup_opts(PoolOptions {
+            frames: 8,
+            policy: EvictionPolicyKind::LruK(2),
+            ..PoolOptions::default()
+        });
+        assert_eq!(pool.eviction_policy(), "lru-k");
+        for i in 1..=20u32 {
+            format_page(&pool, PageId(i));
+        }
+        // Recent pages resident, early ones evicted.
+        assert!(pool.is_cached(PageId(20)));
+        assert!(!pool.is_cached(PageId(1)));
+    }
+
+    #[test]
+    fn pin_guard_keeps_page_resident_and_relatches() {
+        let (_d, pool, _log) = setup(8);
+        format_page(&pool, PageId(1));
+        let pin = pool.pin(PageId(1)).unwrap();
+        // Hammer the pool so an unpinned page 1 would be evicted.
+        for i in 2..=30u32 {
+            format_page(&pool, PageId(i));
+        }
+        assert!(pool.is_cached(PageId(1)), "pin must prevent eviction");
+        {
+            let g = pin.latch_s();
+            assert_eq!(g.page_id(), PageId(1));
+        }
+        {
+            let mut g = pin.latch_x();
+            g.record_update(Lsn(9));
+        }
+        assert_eq!(pool.dpt_snapshot().len(), pool.dpt_snapshot().len());
+        drop(pin);
+        assert_eq!(pool.total_pins(), 0);
+    }
+
+    #[test]
+    fn repin_from_guard_is_lock_free_and_balanced() {
+        let (_d, pool, _log) = setup(8);
+        format_page(&pool, PageId(2));
+        let pin = {
+            let g = pool.fix_s(PageId(2)).unwrap();
+            g.repin()
+        };
+        assert_eq!(pool.total_pins(), 1);
+        let g2 = pin.try_latch_s().unwrap();
+        assert_eq!(g2.page_id(), PageId(2));
+        drop(g2);
+        drop(pin);
+        assert_eq!(pool.total_pins(), 0);
+    }
+
+    #[test]
+    fn bg_tick_writes_dirty_pages_and_cleans_dpt() {
+        let (_d, pool, log) = setup(16);
+        for i in 1..=5u32 {
+            format_page(&pool, PageId(i));
+        }
+        assert_eq!(pool.dpt_snapshot().len(), 5);
+        let before = log.flushed_lsn();
+        let written = pool.bg_tick().unwrap();
+        assert_eq!(written, 5);
+        assert!(pool.dpt_snapshot().is_empty());
+        // WAL rule: the force happened before the writes.
+        assert!(log.flushed_lsn() >= before);
+        for i in 1..=5u32 {
+            let img = pool.disk().read_page(PageId(i)).unwrap();
+            assert_eq!(img.page_id(), PageId(i));
+        }
+    }
+
+    #[test]
+    fn bg_tick_skips_latched_pages() {
+        let (_d, pool, _log) = setup(16);
+        for i in 1..=3u32 {
+            format_page(&pool, PageId(i));
+        }
+        let _x = pool.fix_x(PageId(2)).unwrap();
+        let written = pool.bg_tick().unwrap();
+        assert_eq!(written, 2, "X-latched page skipped");
+        assert_eq!(pool.dpt_snapshot().len(), 1);
+    }
+
+    #[test]
+    fn bg_writer_thread_drains_dirty_pages() {
+        let (_d, pool, _log) = setup_opts(PoolOptions {
+            frames: 16,
+            bg_writer: Some(Duration::from_millis(1)),
+            ..PoolOptions::default()
+        });
+        for i in 1..=6u32 {
+            format_page(&pool, PageId(i));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !pool.dpt_snapshot().is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background writer did not drain the DPT"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        drop(pool); // Drop joins the writer thread cleanly.
+    }
+
+    #[test]
+    fn bg_batch_bounds_one_tick() {
+        let (_d, pool, _log) = setup_opts(PoolOptions {
+            frames: 32,
+            bg_batch: 3,
+            ..PoolOptions::default()
+        });
+        for i in 1..=10u32 {
+            format_page(&pool, PageId(i));
+        }
+        assert_eq!(pool.bg_tick().unwrap(), 3);
+        assert_eq!(pool.dpt_snapshot().len(), 7);
     }
 }

@@ -99,7 +99,7 @@ fn restart_redo_is_page_oriented_per_monitor() {
     let pool = ariesim::storage::BufferPool::new_with_obs(
         disk,
         log.clone(),
-        ariesim::storage::PoolOptions { frames: 512 },
+        ariesim::storage::PoolOptions { frames: 512, ..Default::default() },
         stats2.clone(),
         obs2.clone(),
     );

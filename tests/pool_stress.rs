@@ -1,0 +1,264 @@
+//! Concurrency stress for the partitioned buffer pool.
+//!
+//! N threads hammer a pool deliberately smaller than the working set with a
+//! mix of reads, logged writes, explicit flushes, pin-guard re-latching and
+//! background-writer ticks, so pages are continuously evicted and faulted
+//! back in while latched neighbours pin frames. Afterwards three oracles
+//! must hold:
+//!
+//! 1. **Pin balance** — every pin taken was released: the sum of all frame
+//!    pin counts is zero, and every page is still evictable.
+//! 2. **No lost dirty pages** — each page carries a per-page version stamp
+//!    (its `owner` word), updated only under the X latch in lockstep with a
+//!    shared oracle array; after the storm every page read back through the
+//!    pool (i.e. possibly from disk, after eviction) matches the oracle.
+//! 3. **WAL rule** — every `page_write_back` event in the obs ring records
+//!    the log's durable LSN at the instant of the write (`txn` field) and
+//!    the written page's `page_lsn` (`aux` field); `durable >= page_lsn`
+//!    must hold for each one, eviction, flush and background writer alike.
+
+use ariesim::common::page::PageType;
+use ariesim::common::stats::new_stats;
+use ariesim::common::tmp::TempDir;
+use ariesim::common::{Lsn, PageId, TxnId};
+use ariesim::obs::{Event, EventKind, Obs, ObsHandle};
+use ariesim::storage::{BufferPool, DiskManager, EvictionPolicyKind, PoolOptions};
+use ariesim::wal::{LogManager, LogOptions, LogRecord, RmId};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+const FRAMES: usize = 64;
+/// Working set is 3x the pool: every thread forces continuous eviction.
+const PAGES: u32 = 192;
+const THREADS: u32 = 8;
+
+fn ops_per_thread() -> u32 {
+    std::env::var("POOL_STRESS_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400)
+}
+
+fn build_pool(
+    policy: EvictionPolicyKind,
+    obs: ObsHandle,
+) -> (TempDir, Arc<BufferPool>, Arc<LogManager>) {
+    let dir = TempDir::new("pool-stress");
+    let stats = new_stats();
+    let log = Arc::new(
+        LogManager::open_with_obs(
+            &dir.file("wal"),
+            LogOptions::default(),
+            stats.clone(),
+            obs.clone(),
+        )
+        .unwrap(),
+    );
+    let disk = DiskManager::open(&dir.file("db"), stats.clone()).unwrap();
+    let pool = BufferPool::new_with_obs(
+        disk,
+        log.clone(),
+        PoolOptions {
+            frames: FRAMES,
+            policy,
+            ..Default::default()
+        },
+        stats,
+        obs,
+    );
+    (dir, pool, log)
+}
+
+/// Format the working set: page `p` starts at version 0.
+fn populate(pool: &Arc<BufferPool>, log: &Arc<LogManager>) {
+    for p in 1..=PAGES {
+        let lsn = append_update(log, p);
+        let mut g = pool.fix_x(PageId(p)).unwrap();
+        g.format(PageId(p), PageType::Heap, 0, 0);
+        g.record_update(lsn);
+    }
+    pool.flush_all().unwrap();
+}
+
+/// Append a real (unflushed) update record so dirtied pages carry LSNs the
+/// WAL rule actually has to force.
+fn append_update(log: &Arc<LogManager>, page: u32) -> Lsn {
+    log.append(&LogRecord::update(
+        TxnId(page as u64),
+        Lsn::NULL,
+        RmId::Heap,
+        PageId(page),
+        vec![0xA5],
+    ))
+}
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn run_storm(policy: EvictionPolicyKind) {
+    let obs = Obs::enabled(1 << 14);
+    let (_dir, pool, log) = build_pool(policy, obs.clone());
+    populate(&pool, &log);
+
+    // Oracle: expected `owner` stamp per page. Updated while the X latch is
+    // held, so whenever the latch is free the page and its slot agree.
+    let expected: Arc<Vec<AtomicU32>> =
+        Arc::new((0..=PAGES).map(|_| AtomicU32::new(0)).collect());
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let pool = pool.clone();
+            let log = log.clone();
+            let expected = expected.clone();
+            s.spawn(move || {
+                let mut rng = XorShift(0x9E3779B97F4A7C15 ^ (t as u64 + 1));
+                for i in 0..ops_per_thread() {
+                    let p = 1 + (rng.next() as u32) % PAGES;
+                    match rng.next() % 10 {
+                        // Logged write: bump the version stamp under X.
+                        0..=3 => {
+                            let lsn = append_update(&log, p);
+                            let mut g = pool.fix_x(PageId(p)).unwrap();
+                            assert_eq!(g.page_id(), PageId(p));
+                            let v = g.owner() + 1;
+                            g.set_owner(v);
+                            g.record_update(lsn);
+                            expected[p as usize].store(v, Ordering::Release);
+                        }
+                        // Read: the stamp must match the oracle. Both are
+                        // sampled under the S latch (writers update the
+                        // oracle before releasing X), so they can't skew.
+                        4..=6 => {
+                            let g = pool.fix_s(PageId(p)).unwrap();
+                            assert_eq!(g.page_id(), PageId(p));
+                            let want = expected[p as usize].load(Ordering::Acquire);
+                            assert_eq!(
+                                g.owner(),
+                                want,
+                                "page {p} lost a committed stamp (got {}, want {want})",
+                                g.owner()
+                            );
+                        }
+                        // Pin, hammer neighbours to force eviction pressure
+                        // around the pinned frame, then re-latch through the
+                        // pin (no page-table lookup) and check residency.
+                        7 => {
+                            let pin = pool.pin(PageId(p)).unwrap();
+                            for j in 1..4u32 {
+                                let q = 1 + (p + j * 31) % PAGES;
+                                let g = pool.fix_s(PageId(q)).unwrap();
+                                assert_eq!(g.page_id(), PageId(q));
+                            }
+                            assert!(pool.is_cached(PageId(p)), "pinned page evicted");
+                            let g = pin.latch_s();
+                            assert_eq!(g.page_id(), PageId(p));
+                        }
+                        // Explicit flush (foreground WAL-rule path).
+                        8 => pool.flush_page(PageId(p)).unwrap(),
+                        // Background-writer pass (off-foreground WAL path).
+                        _ => {
+                            if i % 16 == 0 {
+                                pool.bg_tick().unwrap();
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Oracle 1: pin balance.
+    assert_eq!(pool.total_pins(), 0, "leaked pins after the storm");
+
+    // Flush through the bg writer so the freshest ring events include
+    // write-backs, then verify every page — faulting evicted ones back in
+    // from disk — against the oracle.
+    while pool.bg_tick().unwrap() > 0 {}
+    for p in 1..=PAGES {
+        let g = pool.fix_s(PageId(p)).unwrap();
+        let want = expected[p as usize].load(Ordering::Acquire);
+        assert_eq!(g.owner(), want, "page {p} lost its last stamp after flush");
+    }
+
+    // Oracle 3: WAL rule on every observed write-back.
+    let dump = obs.ring.dump_jsonl();
+    let mut write_backs = 0u32;
+    for line in dump.lines() {
+        let Some(ev) = Event::parse_json_line(line) else {
+            continue;
+        };
+        if ev.kind == EventKind::PageWriteBack {
+            write_backs += 1;
+            assert!(
+                ev.txn >= ev.aux,
+                "WAL rule violated: page {} written at page_lsn {} with log durable only to {}",
+                ev.page,
+                ev.aux,
+                ev.txn
+            );
+        }
+    }
+    assert!(
+        write_backs > 0,
+        "storm produced no observable page write-backs — eviction pressure too low"
+    );
+
+    // Sanity of the partitioned layout itself: traffic spread over shards.
+    assert!(pool.partitions() > 1, "stress must run partitioned");
+    let stats = pool.shard_stats();
+    assert!(
+        stats.iter().filter(|&&(h, m, ..)| h + m > 0).count() == stats.len(),
+        "every partition should have seen traffic: {stats:?}"
+    );
+}
+
+#[test]
+fn storm_clock_policy() {
+    run_storm(EvictionPolicyKind::Clock);
+}
+
+#[test]
+fn storm_lru_k_policy() {
+    run_storm(EvictionPolicyKind::LruK(2));
+}
+
+/// Pins cloned and dropped across threads stay balanced, and a page pinned
+/// anywhere survives arbitrary eviction pressure from everyone else.
+#[test]
+fn cross_thread_pin_balance() {
+    let obs = Obs::enabled(1 << 10);
+    let (_dir, pool, log) = build_pool(EvictionPolicyKind::Clock, obs);
+    populate(&pool, &log);
+
+    let hot = pool.pin(PageId(7)).unwrap();
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            let pool = pool.clone();
+            let hot = hot.clone();
+            s.spawn(move || {
+                for i in 0..200u32 {
+                    let p = 1 + (i * 13 + t * 53) % PAGES;
+                    let g = pool.fix_s(PageId(p)).unwrap();
+                    assert_eq!(g.page_id(), PageId(p));
+                    if i % 10 == 0 {
+                        // Re-latch the shared hot page through the clone.
+                        let hg = hot.latch_s();
+                        assert_eq!(hg.page_id(), PageId(7));
+                    }
+                }
+                assert!(pool.is_cached(PageId(7)), "cross-thread pin ignored");
+                drop(hot);
+            });
+        }
+    });
+    drop(hot);
+    assert_eq!(pool.total_pins(), 0);
+}

@@ -48,7 +48,7 @@ pub fn fix_with_obs(protocol: LockProtocol, unique: bool, obs: ObsHandle) -> Fix
     let pool = BufferPool::new_with_obs(
         disk,
         log.clone(),
-        PoolOptions { frames: 512 },
+        PoolOptions { frames: 512, ..Default::default() },
         stats.clone(),
         obs.clone(),
     );
