@@ -83,7 +83,7 @@ pub fn apply_redo(
             Some(p) if p.page() == rec.page => p,
             _ => pool.pin(rec.page)?,
         };
-        let mut g = pin.latch_x(); // latch-rank: 2
+        let mut g = pin.latch_x()?; // latch-rank: 2
         pinned = Some(pin);
         if g.page_lsn() < rec.lsn {
             let rm = rms.get(rec.rm)?;

@@ -175,7 +175,7 @@ pub fn restart(
             Some(p) if p.page() == rec.page => p,
             _ => pool.pin(rec.page)?,
         };
-        let mut g = pin.latch_x(); // latch-rank: 2
+        let mut g = pin.latch_x()?; // latch-rank: 2
         pinned = Some(pin);
         stats.restart_page_reads.bump();
         if g.page_lsn() < rec.lsn {

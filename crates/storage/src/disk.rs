@@ -10,11 +10,22 @@ use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
+
+/// Read-fault hook: consulted with the page id before every
+/// [`DiskManager::read_page`]; an `Err` becomes the read's result.
+pub type ReadFaultHook = Arc<dyn Fn(PageId) -> Result<()> + Send + Sync>;
+
+/// Write-fault hook: consulted with the page id before every
+/// [`DiskManager::write_page`]; an `Err` becomes the write's result.
+pub type WriteFaultHook = Arc<dyn Fn(PageId) -> Result<()> + Send + Sync>;
 
 /// Thread-safe page file.
 pub struct DiskManager {
     file: Mutex<File>,
     stats: StatsHandle,
+    read_hook: Mutex<Option<ReadFaultHook>>,
+    write_hook: Mutex<Option<WriteFaultHook>>,
 }
 
 impl DiskManager {
@@ -28,7 +39,25 @@ impl DiskManager {
         Ok(DiskManager {
             file: Mutex::new(file),
             stats,
+            read_hook: Mutex::new(None),
+            write_hook: Mutex::new(None),
         })
+    }
+
+    /// Install (or, with `None`, remove) a [`ReadFaultHook`]. Test-only
+    /// instrumentation: the hook can delay or fail reads to drive the
+    /// I/O-error paths above the disk (e.g. the buffer pool's load unwind)
+    /// deterministically.
+    pub fn set_read_hook(&self, hook: Option<ReadFaultHook>) {
+        *self.read_hook.lock() = hook;
+    }
+
+    /// Install (or, with `None`, remove) a [`WriteFaultHook`]. Test-only
+    /// instrumentation, like [`Self::set_read_hook`] but for writes — e.g.
+    /// holding a thread open inside an eviction write-back to force the
+    /// racy interleavings of the buffer pool's install path.
+    pub fn set_write_hook(&self, hook: Option<WriteFaultHook>) {
+        *self.write_hook.lock() = hook;
     }
 
     /// Number of pages the file currently holds (rounded up).
@@ -40,6 +69,10 @@ impl DiskManager {
 
     /// Read a page image; pages beyond EOF read as zeroes.
     pub fn read_page(&self, id: PageId) -> Result<PageBuf> {
+        let hook = self.read_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook(id)?;
+        }
         let mut buf = PageBuf::zeroed();
         let mut g = self.file.lock();
         let len = g.metadata()?.len();
@@ -55,6 +88,10 @@ impl DiskManager {
 
     /// Write a page image at its id's offset, growing the file if needed.
     pub fn write_page(&self, page: &PageBuf) -> Result<()> {
+        let hook = self.write_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook(page.page_id())?;
+        }
         let mut g = self.file.lock();
         g.seek(SeekFrom::Start(page.page_id().file_offset()))?;
         g.write_all(page.as_bytes().as_slice())?;

@@ -135,6 +135,9 @@ pub struct LruK {
     tick: u64,
     /// Most-recent-first access ticks, at most `k` per frame.
     history: Vec<Vec<u64>>,
+    /// Scratch for [`EvictionPolicy::victim`]: frames already probed this
+    /// invocation. Reused across calls so the miss path never allocates.
+    probed: Vec<bool>,
 }
 
 impl LruK {
@@ -144,6 +147,7 @@ impl LruK {
             k,
             tick: 0,
             history: vec![Vec::new(); frames],
+            probed: vec![false; frames],
         }
     }
 
@@ -184,10 +188,29 @@ impl EvictionPolicy for LruK {
     }
 
     fn victim(&mut self, evictable: &mut dyn FnMut(usize) -> bool) -> Option<usize> {
-        let mut order: Vec<usize> = (0..self.history.len()).collect();
-        // Descending priority; frame index breaks ties deterministically.
-        order.sort_by_key(|&f| (std::cmp::Reverse(self.priority(f)), f));
-        order.into_iter().find(|&f| evictable(f))
+        // Partial selection instead of a full sort: this runs under the
+        // shard mutex, so the common miss pays one O(n) scan and (almost
+        // always) a single probe, not an allocation plus O(n log n).
+        self.probed.iter_mut().for_each(|p| *p = false);
+        loop {
+            let mut best: Option<(usize, (u8, u64))> = None;
+            for f in 0..self.history.len() {
+                if self.probed[f] {
+                    continue;
+                }
+                let pri = self.priority(f);
+                // Strict `>` keeps the lowest index among equal priorities,
+                // preserving the sorted implementation's deterministic order.
+                if best.is_none_or(|(_, b)| pri > b) {
+                    best = Some((f, pri));
+                }
+            }
+            let (f, _) = best?;
+            self.probed[f] = true;
+            if evictable(f) {
+                return Some(f);
+            }
+        }
     }
 }
 

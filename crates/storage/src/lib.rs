@@ -25,7 +25,7 @@ pub mod eviction;
 pub mod pool;
 pub mod space;
 
-pub use disk::DiskManager;
+pub use disk::{DiskManager, ReadFaultHook, WriteFaultHook};
 pub use eviction::{EvictionPolicy, EvictionPolicyKind};
 pub use pool::{
     take_latch_high_water, BufferPool, PageReadGuard, PageWriteGuard, PinGuard, PoolOptions,

@@ -29,6 +29,14 @@
 //!   per-shard (a page's DPT entry lives in the shard that owns its frame)
 //!   and merged on snapshot.
 //!
+//! **Failed loads.** A miss installs its page-table mapping *before* the
+//! read I/O, so concurrent fixes of the same page hit the loading frame and
+//! wait on the loader's latch instead of double-loading. If the read fails
+//! the install is unwound; any pin taken on the frame in that window turns
+//! into [`Error::StalePin`] at its next latch attempt (the frame's atomic
+//! owner word is validated after every latch acquisition). `fix_*` retries
+//! the fix transparently; explicit [`PinGuard`] holders see the error.
+//!
 //! **Background writer.** [`BufferPool::bg_tick`] writes back a bounded
 //! batch of dirty, unpinned pages (WAL rule per page) so foreground misses
 //! find clean victims and skip the force+write on the eviction path. An
@@ -158,6 +166,13 @@ impl FrameMeta {
 struct Frame {
     buf: Arc<RwLock<PageBuf>>,
     pins: AtomicU32,
+    /// PageId this frame currently holds (NULL while free), written only
+    /// under the owning shard's mutex at install/unwind. Latchers validate
+    /// it against their pin after acquiring the latch: a failed load
+    /// unwinds a frame while foreign pins may exist, and those pins must
+    /// fail loudly ([`Error::StalePin`]) rather than read whatever image
+    /// the frame holds now.
+    owner: AtomicU32,
 }
 
 /// Per-partition traffic counters (relaxed atomics; exposed per shard by
@@ -274,6 +289,7 @@ impl BufferPool {
                 .map(|_| Frame {
                     buf: Arc::new(RwLock::new(PageBuf::zeroed())),
                     pins: AtomicU32::new(0),
+                    owner: AtomicU32::new(PageId::NULL.0),
                 })
                 .collect(),
             shards,
@@ -431,41 +447,60 @@ impl BufferPool {
 
     fn fix_shared(self: &Arc<Self>, page: PageId, conditional: bool) -> Result<PageReadGuard> {
         self.stats.page_fixes.bump();
-        match self.claim(page)? {
-            Claimed::Hit(pin) => self.latch_frame_s(pin, conditional, "storage::pool::fix_s"),
-            Claimed::Loaded(wlatch, pin) => {
-                // The latch was already acquired (and lockdep-recorded)
-                // inside `claim`, under the load I/O.
-                self.stats.latches_page.bump();
-                latch_depth_inc();
-                self.note_latch_acquired(page, ModeTag::S);
-                Ok(PageReadGuard {
-                    latch: Some(ArcRwLockWriteGuard::downgrade(wlatch)),
-                    pin,
-                })
+        loop {
+            match self.claim(page)? {
+                Claimed::Hit(pin) => {
+                    match self.latch_frame_s(pin, conditional, "storage::pool::fix_s") {
+                        // A concurrent failed load unwound the frame between
+                        // our pin and our latch; re-fix from the page table.
+                        Err(Error::StalePin { .. }) => continue,
+                        other => return other,
+                    }
+                }
+                Claimed::Loaded(wlatch, pin) => {
+                    // The latch was already acquired (and lockdep-recorded)
+                    // inside `claim`, under the load I/O.
+                    self.stats.latches_page.bump();
+                    latch_depth_inc();
+                    self.note_latch_acquired(page, ModeTag::S);
+                    return Ok(PageReadGuard {
+                        latch: Some(ArcRwLockWriteGuard::downgrade(wlatch)),
+                        pin,
+                    });
+                }
             }
         }
     }
 
     fn fix_exclusive(self: &Arc<Self>, page: PageId, conditional: bool) -> Result<PageWriteGuard> {
         self.stats.page_fixes.bump();
-        match self.claim(page)? {
-            Claimed::Hit(pin) => self.latch_frame_x(pin, conditional, "storage::pool::fix_x"),
-            Claimed::Loaded(wlatch, pin) => {
-                // Latch acquired (and lockdep-recorded) inside `claim`.
-                self.stats.latches_page.bump();
-                latch_depth_inc();
-                self.note_latch_acquired(page, ModeTag::X);
-                Ok(PageWriteGuard {
-                    latch: Some(wlatch),
-                    pin,
-                })
+        loop {
+            match self.claim(page)? {
+                Claimed::Hit(pin) => {
+                    match self.latch_frame_x(pin, conditional, "storage::pool::fix_x") {
+                        // Unwound under us (see `fix_shared`); retry the fix.
+                        Err(Error::StalePin { .. }) => continue,
+                        other => return other,
+                    }
+                }
+                Claimed::Loaded(wlatch, pin) => {
+                    // Latch acquired (and lockdep-recorded) inside `claim`.
+                    self.stats.latches_page.bump();
+                    latch_depth_inc();
+                    self.note_latch_acquired(page, ModeTag::X);
+                    return Ok(PageWriteGuard {
+                        latch: Some(wlatch),
+                        pin,
+                    });
+                }
             }
         }
     }
 
     /// Latch an already-pinned frame shared. On a conditional miss the pin
-    /// is dropped (one atomic) and [`Error::WouldBlock`] returned.
+    /// is dropped (one atomic) and [`Error::WouldBlock`] returned; if the
+    /// frame stopped holding the pinned page (a concurrent failed load
+    /// unwound it), [`Error::StalePin`].
     fn latch_frame_s(
         &self,
         pin: PinGuard,
@@ -486,6 +521,9 @@ impl BufferPool {
                 g
             }
         };
+        if self.frames[pin.frame].owner.load(Ordering::Acquire) != pin.page.0 {
+            return Err(Error::StalePin { page: pin.page });
+        }
         self.stats.latches_page.bump();
         latch_depth_inc();
         lockdep::acquired(lockdep::Class::PageLatch, site, !conditional);
@@ -517,6 +555,9 @@ impl BufferPool {
                 g
             }
         };
+        if self.frames[pin.frame].owner.load(Ordering::Acquire) != pin.page.0 {
+            return Err(Error::StalePin { page: pin.page });
+        }
         self.stats.latches_page.bump();
         latch_depth_inc();
         lockdep::acquired(lockdep::Class::PageLatch, site, !conditional);
@@ -645,14 +686,22 @@ impl BufferPool {
                     return Err(e);
                 }
             }
-            // Re-take the shard mutex to complete the eviction. A thread
-            // may have hit the old page while we wrote it back (pinning the
-            // frame, then blocking on our latch): in that case the frame
-            // must keep the old page — record the write-back (the image on
-            // disk is current; we held the write latch throughout) and pick
-            // another victim.
+            // Re-take the shard mutex to complete the eviction. Two races
+            // can void the victim while the mutex was dropped:
+            //  * a thread hit the old page during our write-back (pinning
+            //    the frame, then blocking on our latch) — the frame must
+            //    keep the old page;
+            //  * a concurrent miss on `page` won the install into another
+            //    frame (each racer's victim scan skips the other's latched
+            //    frame) — a second insert would overwrite the winner's
+            //    mapping and leave two frames caching the page, splitting
+            //    readers and writers across divergent images.
+            // Either way: keep the old mapping, record the write-back if it
+            // ran (the disk image is current; we held the write latch
+            // throughout), and retry — the next pass takes the hit path.
             let mut g = self.lock_shard(sid, "storage::pool::claim.install");
-            if self.frames[gidx].pins.load(Ordering::Acquire) != 0 {
+            if self.frames[gidx].pins.load(Ordering::Acquire) != 0 || g.table.contains_key(&page)
+            {
                 if old.dirty {
                     g.meta[local].dirty = false;
                     g.dpt.remove(&old.page);
@@ -669,6 +718,7 @@ impl BufferPool {
             }
             g.table.insert(page, local);
             g.meta[local] = FrameMeta { page, dirty: false };
+            self.frames[gidx].owner.store(page.0, Ordering::Release);
             g.policy.on_load(local);
             let prev = self.frames[gidx].pins.fetch_add(1, Ordering::AcqRel);
             debug_assert_eq!(prev, 0, "victim frame was pinned");
@@ -695,12 +745,16 @@ impl BufferPool {
             })();
             if let Err(e) = loaded {
                 // Unwind the install: drop the mapping (the frame holds
-                // garbage for `page`) before releasing latch and pin.
+                // garbage for `page`) before releasing latch and pin. The
+                // owner word goes back to NULL so threads that pinned the
+                // frame through the short-lived mapping get `StalePin` from
+                // their latch instead of this non-image.
                 {
                     let mut g = self.lock_shard(sid, "storage::pool::claim.unwind");
                     if g.table.get(&page) == Some(&local) {
                         g.table.remove(&page);
                         g.meta[local] = FrameMeta::FREE;
+                        self.frames[gidx].owner.store(PageId::NULL.0, Ordering::Release);
                     }
                 }
                 drop(latch);
@@ -907,6 +961,40 @@ impl BufferPool {
         let sid = self.shard_of(page);
         self.lock_shard(sid, "storage::pool::is_cached").table.contains_key(&page)
     }
+
+    /// Test oracle: every shard's page table, frame metadata and frame
+    /// owner words agree — each table entry points at a frame holding that
+    /// page, and every non-free frame is reachable through exactly its own
+    /// table entry. A double-installed page would show up here as an
+    /// orphaned frame (resident metadata with no table entry), the
+    /// signature of two racing misses splitting a page across two frames.
+    /// Panics on violation; safe to call concurrently with pool traffic
+    /// (each shard is checked under its own mutex).
+    pub fn validate_mappings(&self) {
+        for sid in 0..self.shards.len() {
+            let g = self.lock_shard(sid, "storage::pool::validate");
+            let base = self.shards[sid].base;
+            for (&page, &local) in g.table.iter() {
+                assert_eq!(
+                    g.meta[local].page, page,
+                    "table entry names a frame holding another page"
+                );
+                assert_eq!(
+                    self.frames[base + local].owner.load(Ordering::Acquire),
+                    page.0,
+                    "frame owner word drifted from the page table"
+                );
+            }
+            for (local, m) in g.meta.iter().enumerate() {
+                assert!(
+                    m.page.is_null() || g.table.get(&m.page) == Some(&local),
+                    "orphaned frame: {:?} resident in frame {} without a table entry",
+                    m.page,
+                    base + local
+                );
+            }
+        }
+    }
 }
 
 impl Drop for BufferPool {
@@ -976,15 +1064,12 @@ impl PinGuard {
     }
 
     /// S-latch the pinned page (blocking). No shard lookup: the pin keeps
-    /// the frame's identity stable.
-    pub fn latch_s(&self) -> PageReadGuard {
-        match self
-            .pool
+    /// the frame's identity stable. The only failure is
+    /// [`Error::StalePin`] — a concurrent failed load unwound the frame
+    /// after this pin was taken; re-fix the page through the pool to retry.
+    pub fn latch_s(&self) -> Result<PageReadGuard> {
+        self.pool
             .latch_frame_s(self.clone(), false, "storage::pool::pin.latch_s")
-        {
-            Ok(g) => g,
-            Err(_) => unreachable!("blocking latch cannot fail"),
-        }
     }
 
     /// Conditionally S-latch the pinned page.
@@ -993,15 +1078,10 @@ impl PinGuard {
             .latch_frame_s(self.clone(), true, "storage::pool::pin.latch_s")
     }
 
-    /// X-latch the pinned page (blocking).
-    pub fn latch_x(&self) -> PageWriteGuard {
-        match self
-            .pool
+    /// X-latch the pinned page (blocking); failure modes as [`Self::latch_s`].
+    pub fn latch_x(&self) -> Result<PageWriteGuard> {
+        self.pool
             .latch_frame_x(self.clone(), false, "storage::pool::pin.latch_x")
-        {
-            Ok(g) => g,
-            Err(_) => unreachable!("blocking latch cannot fail"),
-        }
     }
 
     /// Conditionally X-latch the pinned page.
@@ -1398,11 +1478,11 @@ mod tests {
         }
         assert!(pool.is_cached(PageId(1)), "pin must prevent eviction");
         {
-            let g = pin.latch_s();
+            let g = pin.latch_s().unwrap();
             assert_eq!(g.page_id(), PageId(1));
         }
         {
-            let mut g = pin.latch_x();
+            let mut g = pin.latch_x().unwrap();
             g.record_update(Lsn(9));
         }
         assert_eq!(pool.dpt_snapshot().len(), pool.dpt_snapshot().len());
@@ -1490,5 +1570,128 @@ mod tests {
         }
         assert_eq!(pool.bg_tick().unwrap(), 3);
         assert_eq!(pool.dpt_snapshot().len(), 7);
+    }
+
+    /// Two concurrent misses on the same page must resolve to a single
+    /// frame: the loser of the install race aborts its eviction and retries
+    /// as a hit. The interleaving is forced deterministically — a write
+    /// hook holds thread A open inside its victim write-back (the
+    /// drop-mutex/relock window) while thread B misses on the same page,
+    /// picks a different victim (A's is latched), and installs first. A's
+    /// re-locked install must then notice B's mapping and back off;
+    /// a second insert would orphan B's frame and split readers across two
+    /// divergent images, which `validate_mappings` reports.
+    #[test]
+    fn concurrent_misses_on_same_page_install_one_frame() {
+        use std::sync::mpsc;
+
+        let (_d, pool, _log) = setup(8);
+        const N: u32 = 24;
+        for i in 1..=N {
+            format_page(&pool, PageId(i)); // every page stays dirty
+        }
+        let target = PageId(1);
+        assert!(!pool.is_cached(target), "target must start evicted");
+
+        // Hook: the FIRST write-back (thread A's victim) announces itself
+        // and blocks until released; everything after passes through.
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = std::sync::Mutex::new(release_rx);
+        let armed = std::sync::atomic::AtomicBool::new(true);
+        pool.disk().set_write_hook(Some(Arc::new(move |_id: PageId| {
+            if armed.swap(false, Ordering::AcqRel) {
+                entered_tx.send(()).unwrap();
+                release_rx.lock().unwrap().recv().unwrap();
+            }
+            Ok(())
+        })));
+
+        std::thread::scope(|s| {
+            let a = {
+                let pool = pool.clone();
+                s.spawn(move || pool.fix_s(target).map(|g| g.page_id()))
+            };
+            // A is now parked inside its victim's write-back, its victim
+            // latched, the target not yet in the page table.
+            entered_rx.recv().unwrap();
+            let b = {
+                let pool = pool.clone();
+                s.spawn(move || pool.fix_s(target).map(|g| g.page_id()))
+            };
+            // B misses too, takes a different victim, and installs the
+            // target while A is still blocked.
+            assert_eq!(b.join().unwrap().unwrap(), target);
+            // Released, A must abandon its own install and resolve to B's
+            // frame via the hit path.
+            release_tx.send(()).unwrap();
+            assert_eq!(a.join().unwrap().unwrap(), target);
+        });
+
+        pool.disk().set_write_hook(None);
+        assert_eq!(pool.total_pins(), 0);
+        pool.validate_mappings();
+    }
+
+    /// A pin taken through the short-lived mapping of an in-flight load
+    /// whose read then fails must not silently observe a recycled frame:
+    /// the unwind clears the frame's owner word, latching through the stale
+    /// pin reports `StalePin`, and re-fixing through the pool retries the
+    /// read.
+    #[test]
+    fn failed_load_unwind_invalidates_concurrent_pins() {
+        use std::sync::mpsc;
+
+        let (_d, pool, _log) = setup(8);
+        format_page(&pool, PageId(1));
+        pool.flush_all().unwrap();
+        // Push page 1 out so the next fix is a miss.
+        for i in 2..=30u32 {
+            format_page(&pool, PageId(i));
+        }
+        assert!(!pool.is_cached(PageId(1)), "page 1 must start evicted");
+
+        // Hook: announce entry into the read, hold the load open until
+        // released, then fail it.
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = std::sync::Mutex::new(release_rx);
+        pool.disk().set_read_hook(Some(Arc::new(move |id: PageId| {
+            if id == PageId(1) {
+                entered_tx.send(()).unwrap();
+                release_rx.lock().unwrap().recv().unwrap();
+                return Err(Error::Io(std::io::Error::other("injected read fault")));
+            }
+            Ok(())
+        })));
+
+        let mut stale_pin = None;
+        std::thread::scope(|s| {
+            let loader = s.spawn(|| pool.fix_s(PageId(1)));
+            // The loader has installed the mapping and is inside the read;
+            // pin the page through that mapping (pins don't latch, so this
+            // does not wait out the load).
+            entered_rx.recv().unwrap();
+            let pin = pool.pin(PageId(1)).unwrap();
+            release_tx.send(()).unwrap();
+            assert!(loader.join().unwrap().is_err(), "injected fault surfaces");
+            stale_pin = Some(pin);
+        });
+        let pin = stale_pin.unwrap();
+
+        // The unwind freed the frame out from under the pin: latching must
+        // fail loudly rather than hand back whatever the frame holds now.
+        assert!(matches!(pin.latch_s(), Err(Error::StalePin { page }) if page == PageId(1)));
+        assert!(matches!(pin.try_latch_x(), Err(Error::StalePin { page }) if page == PageId(1)));
+
+        // Re-fixing through the pool retries the read and succeeds once the
+        // fault is cleared.
+        pool.disk().set_read_hook(None);
+        let g = pool.fix_s(PageId(1)).unwrap();
+        assert_eq!(g.page_id(), PageId(1));
+        drop(g);
+        drop(pin);
+        assert_eq!(pool.total_pins(), 0);
+        pool.validate_mappings();
     }
 }

@@ -158,15 +158,21 @@ fn run_storm(policy: EvictionPolicyKind) {
                                 assert_eq!(g.page_id(), PageId(q));
                             }
                             assert!(pool.is_cached(PageId(p)), "pinned page evicted");
-                            let g = pin.latch_s();
+                            let g = pin.latch_s().unwrap();
                             assert_eq!(g.page_id(), PageId(p));
                         }
                         // Explicit flush (foreground WAL-rule path).
                         8 => pool.flush_page(PageId(p)).unwrap(),
-                        // Background-writer pass (off-foreground WAL path).
+                        // Background-writer pass (off-foreground WAL path),
+                        // plus a periodic table↔frame agreement audit: a
+                        // double-installed page (two racing misses) shows
+                        // up as an orphaned frame.
                         _ => {
                             if i % 16 == 0 {
                                 pool.bg_tick().unwrap();
+                            }
+                            if i % 64 == 0 {
+                                pool.validate_mappings();
                             }
                         }
                     }
@@ -175,8 +181,9 @@ fn run_storm(policy: EvictionPolicyKind) {
         }
     });
 
-    // Oracle 1: pin balance.
+    // Oracle 1: pin balance, and page-table/frame agreement.
     assert_eq!(pool.total_pins(), 0, "leaked pins after the storm");
+    pool.validate_mappings();
 
     // Flush through the bg writer so the freshest ring events include
     // write-backs, then verify every page — faulting evicted ones back in
@@ -250,7 +257,7 @@ fn cross_thread_pin_balance() {
                     assert_eq!(g.page_id(), PageId(p));
                     if i % 10 == 0 {
                         // Re-latch the shared hot page through the clone.
-                        let hg = hot.latch_s();
+                        let hg = hot.latch_s().unwrap();
                         assert_eq!(hg.page_id(), PageId(7));
                     }
                 }
@@ -261,4 +268,5 @@ fn cross_thread_pin_balance() {
     });
     drop(hot);
     assert_eq!(pool.total_pins(), 0);
+    pool.validate_mappings();
 }
