@@ -127,10 +127,13 @@ fn main() -> ExitCode {
 
         if census {
             print!("{}", analyze::census_table(&report.census));
+            print!("{}", analyze::ordering_table(&report.ordering_sites));
         }
         println!(
-            "arieslint: {} latch sites, {} crash points, {} metric names, {} allowlist entries",
+            "arieslint: {} latch sites, {} ordering sites, {} crash points, \
+             {} metric names, {} allowlist entries",
             report.census.len(),
+            report.ordering_sites.len(),
             report.crash_points.len(),
             report.metric_sites.len(),
             allow.len()

@@ -35,9 +35,17 @@
 //!   documents is dead weight in every exposition; dynamically-built names
 //!   are covered by the registry's own registration-time panics).
 //!
-//! The allowlist (`lint.allow` at the repo root) is file/line-keyed; stale
-//! entries are themselves findings, so it can only shrink or move with the
-//! code it annotates.
+//! * [`lint_ordering_census`] — every atomic memory-ordering argument
+//!   (`Ordering::Relaxed` … `Ordering::SeqCst`) in the engine crates carries
+//!   a `// ordering: <why>` justification; a bare ordering — above all a bare
+//!   `Relaxed` on a cross-thread value — is a finding. The annotated sites
+//!   form a census the model checker's harnesses are audited against.
+//!
+//! The allowlist (`lint.allow` at the repo root) is keyed by path, lint id
+//! and a content fingerprint of the flagged line ([`fp8`]) — *not* by line
+//! number, so entries survive unrelated edits but go stale the moment the
+//! flagged line itself changes. Stale entries are themselves findings, so
+//! the list can only shrink or move with the code it annotates.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -52,10 +60,13 @@ pub mod lockdep;
 pub struct Finding {
     /// Repo-relative path, `/`-separated.
     pub file: String,
-    /// 1-based line number.
+    /// 1-based line number (advisory: the allowlist keys on `fp`, not this).
     pub line: usize,
-    /// Stable lint identifier (used as the allowlist key).
+    /// Stable lint identifier (part of the allowlist key).
     pub lint: &'static str,
+    /// Content fingerprint of the flagged line ([`fp8`]); empty for synthetic
+    /// findings with no source line (lockdep dumps, allowlist diagnostics).
+    pub fp: String,
     pub msg: String,
 }
 
@@ -65,7 +76,11 @@ impl fmt::Display for Finding {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.lint, self.msg
-        )
+        )?;
+        if !self.fp.is_empty() {
+            write!(f, " (fp {})", self.fp)?;
+        }
+        Ok(())
     }
 }
 
@@ -74,8 +89,23 @@ fn finding(file: &str, line: usize, lint: &'static str, msg: String) -> Finding 
         file: file.to_string(),
         line,
         lint,
+        fp: String::new(),
         msg,
     }
+}
+
+/// Content fingerprint used to key allowlist entries: FNV-1a 64 of the
+/// *trimmed* flagged line, xor-folded to 32 bits, printed as 8 hex digits.
+/// Keying on content instead of line numbers means entries survive edits
+/// elsewhere in the file, and one entry covers every identical flagged line
+/// (e.g. the same `.expect(...)` idiom repeated across guard impls).
+pub fn fp8(line_text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in line_text.trim().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{:08x}", (h ^ (h >> 32)) as u32)
 }
 
 // ---------------------------------------------------------------------------
@@ -613,6 +643,135 @@ pub fn lint_no_panic(file: &str, content: &str) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
+// Lint 3b: atomics-ordering census
+// ---------------------------------------------------------------------------
+
+/// The five atomic memory-ordering variants (`std::sync::atomic::Ordering`
+/// and the model-aware `msync` facade alike). `cmp::Ordering`'s variants
+/// (`Less`/`Equal`/`Greater`) never collide with these, so a plain token
+/// scan cannot misfire on comparator code.
+const ATOMIC_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// One justified atomic-ordering site (census entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderingSite {
+    pub file: String,
+    pub line: usize,
+    /// Ordering variant names used on the line (`Relaxed`, `Acquire`, …).
+    pub ops: Vec<String>,
+}
+
+/// Census of atomic memory-ordering arguments: every site outside
+/// `#[cfg(test)]` must justify its choice with `// ordering: <why>` on the
+/// same line or in the comment block directly above. Annotated sites are
+/// returned as the census; unannotated ones are findings — a bare `Relaxed`
+/// on a value another thread observes is exactly the class of bug the model
+/// checker exists to catch, and the written justification is what a
+/// reviewer (or a checker-harness author) audits against the protocol.
+pub fn lint_ordering_census(file: &str, content: &str) -> (Vec<OrderingSite>, Vec<Finding>) {
+    let lines: Vec<&str> = content.lines().collect();
+    let end = test_module_start(&lines);
+    let mut sites = Vec::new();
+    let mut findings = Vec::new();
+    for (i, raw) in lines[..end].iter().enumerate() {
+        if is_comment_line(raw) {
+            continue;
+        }
+        let code = code_part(raw);
+        let ops: Vec<String> = ATOMIC_ORDERINGS
+            .iter()
+            .filter(|t| code.contains(*t))
+            .map(|t| t.trim_start_matches("Ordering::").to_string())
+            .collect();
+        if ops.is_empty() {
+            continue;
+        }
+        let trailing = raw.contains("// ordering:");
+        // Accept the justification anywhere in the contiguous `//` comment
+        // block directly above (annotations often wrap onto several lines).
+        let preceding = lines[..i]
+            .iter()
+            .rev()
+            .take_while(|l| l.trim_start().starts_with("//"))
+            .any(|l| l.contains("ordering:"));
+        if trailing || preceding {
+            sites.push(OrderingSite {
+                file: file.to_string(),
+                line: i + 1,
+                ops,
+            });
+        } else {
+            let relaxed = if ops.iter().any(|o| o == "Relaxed") {
+                " — for Relaxed, say why no other thread's correctness \
+                 depends on observing this value in order"
+            } else {
+                ""
+            };
+            findings.push(finding(
+                file,
+                i + 1,
+                "ordering-annotation",
+                format!(
+                    "unannotated atomic ordering ({}): add `// ordering: <why>` \
+                     on this line or the comment directly above{relaxed}",
+                    ops.join(", "),
+                ),
+            ));
+        }
+    }
+    (sites, findings)
+}
+
+/// Per-file ordering-census table for EXPERIMENTS.md and `--census`.
+pub fn ordering_table(sites: &[OrderingSite]) -> String {
+    let mut per_file: Vec<(String, [usize; 5])> = Vec::new();
+    for s in sites {
+        let entry = match per_file.iter_mut().find(|e| e.0 == s.file) {
+            Some(e) => e,
+            None => {
+                per_file.push((s.file.clone(), [0; 5]));
+                per_file.last_mut().expect("just pushed")
+            }
+        };
+        for op in &s.ops {
+            let idx = match op.as_str() {
+                "Relaxed" => 0,
+                "Acquire" => 1,
+                "Release" => 2,
+                "AcqRel" => 3,
+                _ => 4,
+            };
+            entry.1[idx] += 1;
+        }
+    }
+    per_file.sort();
+    let mut out = String::new();
+    out.push_str("| file | Relaxed | Acquire | Release | AcqRel | SeqCst |\n");
+    out.push_str("|------|--------:|--------:|--------:|-------:|-------:|\n");
+    let mut tot = [0usize; 5];
+    for (file, n) in &per_file {
+        out.push_str(&format!(
+            "| {file} | {} | {} | {} | {} | {} |\n",
+            n[0], n[1], n[2], n[3], n[4]
+        ));
+        for (t, v) in tot.iter_mut().zip(n) {
+            *t += v;
+        }
+    }
+    out.push_str(&format!(
+        "| **total** | **{}** | **{}** | **{}** | **{}** | **{}** |\n",
+        tot[0], tot[1], tot[2], tot[3], tot[4]
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Lint 4: crash-point registry
 // ---------------------------------------------------------------------------
 
@@ -968,14 +1127,17 @@ pub const ALLOWLIST_MAX: usize = 15;
 #[derive(Debug, Clone)]
 pub struct AllowEntry {
     pub file: String,
-    pub line: usize,
     pub lint: String,
+    /// Content fingerprint of the allowed line (see [`fp8`]).
+    pub fp: String,
     /// 1-based line in lint.allow (for stale-entry findings).
     pub at: usize,
 }
 
-/// Parse `lint.allow`: `<path>:<line> <lint-id> — <justification>` per line;
-/// `#` comments and blanks ignored.
+/// Parse `lint.allow`: `<path> <lint-id> <fp8> — <justification>` per line;
+/// `#` comments and blanks ignored. The fingerprint is the 8-hex-digit
+/// [`fp8`] of the flagged line, printed by every finding; line numbers are
+/// deliberately not part of the key.
 pub fn parse_allowlist(content: &str) -> (Vec<AllowEntry>, Vec<Finding>) {
     let mut entries = Vec::new();
     let mut findings = Vec::new();
@@ -986,27 +1148,27 @@ pub fn parse_allowlist(content: &str) -> (Vec<AllowEntry>, Vec<Finding>) {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let loc = parts.next().unwrap_or("");
+        let file = parts.next().unwrap_or("");
         let lint = parts.next().unwrap_or("");
+        let fp = parts.next().unwrap_or("");
         let justification: Vec<&str> = parts.collect();
-        let parsed = loc.rsplit_once(':').and_then(|(f, l)| {
-            l.parse::<usize>().ok().map(|n| (f.to_string(), n))
-        });
-        match parsed {
-            Some((file, lineno)) if !lint.is_empty() && !justification.is_empty() => {
-                entries.push(AllowEntry {
-                    file,
-                    line: lineno,
-                    lint: lint.to_string(),
-                    at,
-                });
-            }
-            _ => findings.push(finding(
+        let fp_ok = fp.len() == 8 && fp.bytes().all(|b| b.is_ascii_hexdigit());
+        if file.contains('/') && !lint.is_empty() && fp_ok && !justification.is_empty() {
+            entries.push(AllowEntry {
+                file: file.to_string(),
+                lint: lint.to_string(),
+                fp: fp.to_string(),
+                at,
+            });
+        } else {
+            findings.push(finding(
                 "lint.allow",
                 at,
                 "allow-format",
-                "expected `<path>:<line> <lint-id> — <justification>`".to_string(),
-            )),
+                "expected `<path> <lint-id> <fp8> — <justification>` \
+                 (fp8 is the 8-hex fingerprint each finding prints)"
+                    .to_string(),
+            ));
         }
     }
     if entries.len() > ALLOWLIST_MAX {
@@ -1024,14 +1186,20 @@ pub fn parse_allowlist(content: &str) -> (Vec<AllowEntry>, Vec<Finding>) {
 }
 
 /// Remove allowlisted findings; stale entries (matching nothing) become
-/// findings themselves.
+/// findings themselves. An entry matches on (file, lint, fingerprint), so a
+/// single entry covers every finding of that lint on an identical line in
+/// the file — repeated idioms need one justification, not one per copy.
 pub fn apply_allowlist(findings: Vec<Finding>, allow: &[AllowEntry]) -> Vec<Finding> {
     let mut used = vec![false; allow.len()];
     let mut out: Vec<Finding> = Vec::new();
     for f in findings {
-        let hit = allow.iter().position(|a| {
-            a.file == f.file && a.line == f.line && a.lint == f.lint
-        });
+        let hit = (!f.fp.is_empty())
+            .then(|| {
+                allow
+                    .iter()
+                    .position(|a| a.file == f.file && a.lint == f.lint && a.fp == f.fp)
+            })
+            .flatten();
         match hit {
             Some(i) => used[i] = true,
             None => out.push(f),
@@ -1044,8 +1212,8 @@ pub fn apply_allowlist(findings: Vec<Finding>, allow: &[AllowEntry]) -> Vec<Find
                 a.at,
                 "allow-stale",
                 format!(
-                    "entry `{}:{} {}` matches no current finding: remove it",
-                    a.file, a.line, a.lint
+                    "entry `{} {} {}` matches no current finding: remove it",
+                    a.file, a.lint, a.fp
                 ),
             ));
         }
@@ -1063,6 +1231,12 @@ pub const LATCH_CRATES: &[&str] = &["btree", "record", "txn", "recovery", "repl"
 /// Crates subject to the panic audit.
 pub const ENGINE_CRATES: &[&str] = &[
     "common", "storage", "wal", "btree", "record", "txn", "recovery", "lock", "repl",
+];
+
+/// Crates subject to the atomics-ordering census: the engine crates plus the
+/// model checker (whose harnesses are themselves concurrency protocols).
+pub const ORDERING_CRATES: &[&str] = &[
+    "common", "storage", "wal", "btree", "record", "txn", "recovery", "lock", "repl", "model",
 ];
 
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -1095,6 +1269,7 @@ pub struct SourceReport {
     pub census: Vec<CensusSite>,
     pub crash_points: Vec<CrashPointSite>,
     pub metric_sites: Vec<MetricSite>,
+    pub ordering_sites: Vec<OrderingSite>,
 }
 
 /// Run every source lint over the workspace at `root` (without applying the
@@ -1104,6 +1279,7 @@ pub fn run_source_lints(root: &Path, reached: Option<&[String]>) -> io::Result<S
     let mut census = Vec::new();
     let mut crash_points = Vec::new();
     let mut metric_sites = Vec::new();
+    let mut ordering_sites = Vec::new();
 
     for krate in LATCH_CRATES {
         let mut files = Vec::new();
@@ -1124,6 +1300,17 @@ pub fn run_source_lints(root: &Path, reached: Option<&[String]>) -> io::Result<S
             let content = fs::read_to_string(p)?;
             let name = rel(root, p);
             findings.extend(lint_no_panic(&name, &content));
+        }
+    }
+    for krate in ORDERING_CRATES {
+        let mut files = Vec::new();
+        rust_files(&root.join("crates").join(krate).join("src"), &mut files)?;
+        for p in &files {
+            let content = fs::read_to_string(p)?;
+            let name = rel(root, p);
+            let (sites, f) = lint_ordering_census(&name, &content);
+            ordering_sites.extend(sites);
+            findings.extend(f);
         }
     }
     // Crash points and metric registrations live anywhere in the
@@ -1165,11 +1352,25 @@ pub fn run_source_lints(root: &Path, reached: Option<&[String]>) -> io::Result<S
     findings.extend(lint_metric_names(&metric_sites, &corpus));
     findings.extend(lint_wal_coverage(root)?);
     findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    // Stamp each finding with the content fingerprint of its flagged line —
+    // the key the allowlist matches on. The corpus holds every file any
+    // source lint can flag; anything outside it keeps an empty (unmatched)
+    // fingerprint.
+    let by_file: HashMap<&str, &str> =
+        corpus.iter().map(|(n, c)| (n.as_str(), c.as_str())).collect();
+    for f in &mut findings {
+        if let Some(text) = by_file.get(f.file.as_str()) {
+            if let Some(line) = f.line.checked_sub(1).and_then(|i| text.lines().nth(i)) {
+                f.fp = fp8(line);
+            }
+        }
+    }
     Ok(SourceReport {
         findings,
         census,
         crash_points,
         metric_sites,
+        ordering_sites,
     })
 }
 

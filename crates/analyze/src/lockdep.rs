@@ -114,6 +114,7 @@ pub fn check_dump(dump_name: &str, d: &Dump) -> Vec<Finding> {
             file: dump_name.to_string(),
             line: 0,
             lint: "lockdep",
+            fp: String::new(),
             msg,
         });
     };

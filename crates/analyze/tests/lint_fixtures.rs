@@ -4,8 +4,8 @@
 
 use analyze::{
     apply_allowlist, find_crash_points, find_metric_sites, lint_crash_points, lint_latch_census,
-    lint_metric_names, lint_no_panic, lint_no_wait_under_latch, lint_wal_coverage, lockdep,
-    parse_allowlist, run_source_lints, Finding, ALLOWLIST_MAX,
+    lint_metric_names, lint_no_panic, lint_no_wait_under_latch, lint_ordering_census,
+    lint_wal_coverage, lockdep, parse_allowlist, run_source_lints, Finding, ALLOWLIST_MAX,
 };
 use std::path::{Path, PathBuf};
 
@@ -60,6 +60,24 @@ fn no_wait_flags_blocking_request_under_live_guard() {
 fn no_panic_skips_test_modules() {
     let findings = lint_no_panic("no_panic.rs", &fixture("no_panic.rs"));
     assert_eq!(at(&findings, "no-panic"), vec![("no_panic.rs".to_string(), 4)]);
+}
+
+#[test]
+fn ordering_census_flags_bare_sites_and_skips_cmp_and_tests() {
+    let (sites, findings) = lint_ordering_census("ordering.rs", &fixture("ordering.rs"));
+    // The two bare sites are findings; cmp::Ordering and the test module
+    // never enter the census.
+    assert_eq!(
+        at(&findings, "ordering-annotation"),
+        vec![("ordering.rs".to_string(), 14), ("ordering.rs".to_string(), 18)]
+    );
+    assert!(findings[0].msg.contains("Relaxed"), "msg: {}", findings[0].msg);
+    let locs: Vec<(String, usize)> = sites.iter().map(|s| (s.file.clone(), s.line)).collect();
+    assert_eq!(
+        locs,
+        vec![("ordering.rs".to_string(), 5), ("ordering.rs".to_string(), 10)]
+    );
+    assert_eq!(sites[0].ops, vec!["Acquire".to_string()]);
 }
 
 #[test]
@@ -133,31 +151,56 @@ fn wal_coverage_reports_missing_undo_dispatch() {
 
 #[test]
 fn allowlist_filters_stales_and_overflows() {
-    let (allow, pf) = parse_allowlist(
+    let fp = analyze::fp8(".expect(\"latch held\")");
+    let (allow, pf) = parse_allowlist(&format!(
         "# comment\n\
-         crates/x/src/a.rs:10 no-panic — head exists under the mutex\n\
-         crates/x/src/b.rs:99 no-panic — never fired\n\
-         not-an-entry\n",
-    );
+         crates/x/src/a.rs no-panic {fp} — head exists under the mutex\n\
+         crates/x/src/b.rs no-panic deadbeef — never fired\n\
+         crates/x/src/c.rs:10 no-panic — legacy line-keyed entry\n",
+    ));
     assert_eq!(allow.len(), 2);
+    // The retired `<path>:<line>` format is a format error, not silently
+    // accepted with a bogus key.
     assert_eq!(at(&pf, "allow-format"), vec![("lint.allow".to_string(), 4)]);
 
-    let f = vec![Finding {
+    let mk = |line: usize| Finding {
         file: "crates/x/src/a.rs".to_string(),
-        line: 10,
+        line,
         lint: "no-panic",
+        fp: fp.clone(),
         msg: "boom".to_string(),
-    }];
-    let out = apply_allowlist(f, &allow);
-    // The a.rs finding is suppressed; the b.rs entry is stale (allow line 3).
+    };
+    // Two findings on identical flagged lines share a fingerprint: one
+    // entry covers both, at any line number.
+    let out = apply_allowlist(vec![mk(10), mk(44)], &allow);
+    // Both a.rs findings are suppressed; the b.rs entry is stale (line 3).
     assert_eq!(at(&out, "allow-stale"), vec![("lint.allow".to_string(), 3)]);
     assert_eq!(out.len(), 1);
 
     let big: String = (0..ALLOWLIST_MAX + 1)
-        .map(|i| format!("crates/x/src/a.rs:{i} no-panic — reason\n"))
+        .map(|i| format!("crates/x/src/a.rs no-panic {i:08x} — reason\n"))
         .collect();
     let (_, pf) = parse_allowlist(&big);
     assert_eq!(at(&pf, "allow-overflow"), vec![("lint.allow".to_string(), 1)]);
+}
+
+#[test]
+fn fingerprints_key_on_trimmed_content() {
+    // Indentation changes don't move the key; content changes do.
+    assert_eq!(analyze::fp8("    a.load()  "), analyze::fp8("a.load()"));
+    assert_ne!(analyze::fp8("a.load()"), analyze::fp8("b.load()"));
+    assert_eq!(analyze::fp8("x").len(), 8);
+    // Synthetic findings (empty fp) can never be allowlisted away.
+    let (allow, _) = parse_allowlist("lint.allow/x allow-stale 00000000 — nope\n");
+    let f = vec![Finding {
+        file: "lint.allow/x".to_string(),
+        line: 1,
+        lint: "allow-stale",
+        fp: String::new(),
+        msg: "stale".to_string(),
+    }];
+    let out = apply_allowlist(f, &allow);
+    assert_eq!(out.len(), 2, "finding survives and the entry goes stale");
 }
 
 // ---------------------------------------------------------------------------
@@ -306,5 +349,12 @@ fn workspace_is_clean_under_committed_allowlist() {
         report.metric_sites.len() >= 14,
         "metric sites: {}",
         report.metric_sites.len()
+    );
+    // Every atomic-ordering site in the engine is annotated and counted; an
+    // empty census would mean the scanner stopped seeing the atomics.
+    assert!(
+        report.ordering_sites.len() >= 50,
+        "ordering sites: {}",
+        report.ordering_sites.len()
     );
 }

@@ -14,6 +14,7 @@ pub mod codec;
 pub mod error;
 pub mod ids;
 pub mod key;
+pub mod msync;
 pub mod page;
 pub mod slotted;
 pub mod stats;

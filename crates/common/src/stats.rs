@@ -30,11 +30,13 @@ macro_rules! counters {
         impl Stats {
             pub fn snapshot(&self) -> StatsSnapshot {
                 StatsSnapshot {
+                    // ordering: statistics counter; snapshots are advisory, no payload is published through them
                     $( $name: self.$name.load(Ordering::Relaxed), )*
                 }
             }
 
             pub fn reset(&self) {
+                // ordering: advisory counter reset; racing bumps may survive and that is fine
                 $( self.$name.store(0, Ordering::Relaxed); )*
             }
         }
@@ -150,11 +152,11 @@ impl Stats {
     /// Relaxed increment; use through the named counter field:
     /// `stats.locks_acquired.bump()` reads better via the extension trait.
     pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.fetch_add(1, Ordering::Relaxed); // ordering: advisory counter; nothing synchronizes-with it
     }
 
     pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+        counter.fetch_add(n, Ordering::Relaxed); // ordering: advisory counter; nothing synchronizes-with it
     }
 }
 
@@ -168,17 +170,17 @@ pub trait Bump {
 impl Bump for AtomicU64 {
     #[inline]
     fn bump(&self) {
-        self.fetch_add(1, Ordering::Relaxed);
+        self.fetch_add(1, Ordering::Relaxed); // ordering: advisory counter; nothing synchronizes-with it
     }
 
     #[inline]
     fn add(&self, n: u64) {
-        self.fetch_add(n, Ordering::Relaxed);
+        self.fetch_add(n, Ordering::Relaxed); // ordering: advisory counter; nothing synchronizes-with it
     }
 
     #[inline]
     fn get(&self) -> u64 {
-        self.load(Ordering::Relaxed)
+        self.load(Ordering::Relaxed) // ordering: advisory read of a counter; staleness is acceptable
     }
 }
 

@@ -17,7 +17,7 @@ pub struct TempDir {
 impl TempDir {
     /// Create a fresh directory, e.g. `/tmp/ariesim-12345-7-mylabel`.
     pub fn new(label: &str) -> TempDir {
-        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed); // ordering: unique-id counter; only uniqueness matters, not order
         let path = std::env::temp_dir().join(format!(
             "ariesim-{}-{}-{}",
             std::process::id(),

@@ -1,0 +1,359 @@
+//! Systematic exploration: iterative preemption-bounded DFS with sleep sets.
+//!
+//! Schedules are explored by *re-execution*: the DFS keeps a stack of
+//! decision nodes (the pending-op set it saw, the choice it made, and the
+//! sleep set at entry); each iteration re-runs the harness, forcing the
+//! recorded choices down the stack prefix and extending with the default
+//! policy past it. Backtracking retires the current choice into the deepest
+//! node's sleep set and advances to the next in-budget alternative, popping
+//! exhausted nodes.
+//!
+//! Preemption bounding (CHESS-style): switching away from a still-enabled
+//! previous thread costs one unit of budget; switching because the previous
+//! thread blocked or finished is free. A round-robin fairness switch every
+//! [`QUANTUM`] steps is also free — required, because the pool's claim path
+//! spins (`latch_busy` / install back-off yield loops) and a pure
+//! prefer-current policy would never let the lock holder run.
+//!
+//! Sleep sets (Godefroid): after exploring choice `c` at a node, `c` sleeps
+//! in every sibling subtree until some executed op touches the same object,
+//! pruning schedules that only commute independent steps. With both bound
+//! and budget at their defaults this is a heuristic bug-finder biased
+//! toward few-preemption interleavings — exactly the races humans write —
+//! not a proof; `complete = true` is reported only when the DFS exhausts
+//! every in-budget schedule.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::rng::XorShift;
+use crate::runtime::{run_schedule, Env, PendingOp, Scheduler};
+use crate::trace::{Step, Trace};
+
+/// Free round-robin switch cadence (see module docs).
+pub const QUANTUM: usize = 32;
+
+#[derive(Clone, Debug)]
+pub struct ModelOptions {
+    /// Preemption budget per schedule (default 2 — most real races need 1).
+    pub preemptions: usize,
+    /// Stop after this many executions (completed + pruned) without a
+    /// verdict; `complete` stays false.
+    pub max_schedules: u64,
+    /// Per-schedule decision cap: a livelock backstop, reported as failure.
+    pub max_steps: usize,
+    /// Seeds the default policy's tie-breaks. Same seed + same harness ⇒
+    /// byte-identical exploration and trace.
+    pub seed: u64,
+    /// Sleep-set pruning (on by default; off explores redundant permutations).
+    pub sleep_sets: bool,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions {
+            preemptions: 2,
+            max_schedules: 100_000,
+            max_steps: 5_000,
+            seed: 0xA51E5,
+            sleep_sets: true,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub message: String,
+    /// Complete schedule reproducing the failure; feed to [`replay`].
+    pub trace: Trace,
+}
+
+#[derive(Clone, Debug)]
+pub struct ExploreResult {
+    /// Executions that ran to a verdict (completion or failure).
+    pub schedules: u64,
+    /// Executions cut short by sleep-set pruning.
+    pub pruned: u64,
+    /// Total scheduling decisions granted across all executions.
+    pub decisions: u64,
+    /// True iff the DFS exhausted every schedule within the preemption
+    /// budget without failing and without hitting `max_schedules`.
+    pub complete: bool,
+    pub failure: Option<Failure>,
+    pub wall: Duration,
+}
+
+/// One DFS decision node.
+struct Node {
+    /// Pending set observed at this decision (replay-consistency checked).
+    pending: Vec<PendingOp>,
+    /// Choice currently being explored below this node.
+    chosen: usize,
+    /// Sleep set at entry plus every already-explored choice `(tid, obj)`.
+    sleep: Vec<(usize, u32)>,
+    /// Preemptions consumed by the prefix above this node.
+    base_preempt: usize,
+    prev: Option<usize>,
+    prev_enabled: bool,
+    quantum_hit: bool,
+}
+
+fn preempt_cost(node: &Node, tid: usize) -> usize {
+    usize::from(node.prev_enabled && node.prev != Some(tid) && !node.quantum_hit)
+}
+
+struct DfsSched<'a> {
+    stack: &'a mut Vec<Node>,
+    depth: usize,
+    cur_sleep: Vec<(usize, u32)>,
+    preempt: usize,
+    rng: XorShift,
+    sleep_sets: bool,
+}
+
+impl Scheduler for DfsSched<'_> {
+    fn choose(
+        &mut self,
+        step: usize,
+        prev: Option<usize>,
+        run_len: usize,
+        pending: &[PendingOp],
+    ) -> Option<usize> {
+        let chosen;
+        if self.depth < self.stack.len() {
+            // Replaying the recorded prefix.
+            let node = &self.stack[self.depth];
+            assert_eq!(
+                node.pending, pending,
+                "model: harness is nondeterministic — pending set diverged \
+                 from the recorded prefix at step {step}"
+            );
+            self.cur_sleep.clone_from(&node.sleep);
+            chosen = node.chosen;
+        } else {
+            // Fresh frontier: pick by the default policy and push a node.
+            let quantum_hit = run_len >= QUANTUM;
+            let enabled: Vec<usize> = pending.iter().filter(|p| p.enabled).map(|p| p.tid).collect();
+            let selectable: Vec<usize> = if self.sleep_sets {
+                enabled
+                    .iter()
+                    .copied()
+                    .filter(|t| !self.cur_sleep.iter().any(|&(st, _)| st == *t))
+                    .collect()
+            } else {
+                enabled.clone()
+            };
+            if selectable.is_empty() {
+                // Everything runnable sleeps: this execution only commutes
+                // independent steps of one already explored.
+                return None;
+            }
+            let prev_enabled = prev.is_some_and(|p| enabled.contains(&p));
+            chosen = match prev {
+                Some(p) if selectable.contains(&p) && !quantum_hit => p,
+                Some(p) if prev_enabled && quantum_hit => {
+                    // Fairness switch: cyclically next runnable thread.
+                    selectable
+                        .iter()
+                        .copied()
+                        .find(|&t| t > p)
+                        .unwrap_or(selectable[0])
+                }
+                _ => selectable[self.rng.below(selectable.len())],
+            };
+            self.stack.push(Node {
+                pending: pending.to_vec(),
+                chosen,
+                // Without sleep-set pruning a fresh node starts wide awake;
+                // its `sleep` vec then only tracks explored choices.
+                sleep: if self.sleep_sets {
+                    self.cur_sleep.clone()
+                } else {
+                    Vec::new()
+                },
+                base_preempt: self.preempt,
+                prev,
+                prev_enabled,
+                quantum_hit,
+            });
+        }
+        // Wake sleepers whose op conflicts (same object) with the chosen op,
+        // and account the preemption if we switched off a runnable thread.
+        let op = pending
+            .iter()
+            .find(|p| p.tid == chosen)
+            .expect("model: recorded choice not pending");
+        self.cur_sleep.retain(|&(t, o)| t != chosen && o != op.obj);
+        let node = &self.stack[self.depth];
+        self.preempt += preempt_cost(node, chosen);
+        self.depth += 1;
+        Some(chosen)
+    }
+}
+
+/// Retire the deepest node's current choice and advance to the next
+/// in-budget alternative; pop exhausted nodes. Returns false when the whole
+/// in-budget tree is explored.
+fn backtrack(stack: &mut Vec<Node>, bound: usize) -> bool {
+    while let Some(node) = stack.last_mut() {
+        let cop = node
+            .pending
+            .iter()
+            .find(|p| p.tid == node.chosen)
+            .expect("model: node chose a thread with no pending op");
+        node.sleep.push((node.chosen, cop.obj));
+        let alt = node
+            .pending
+            .iter()
+            .filter(|p| p.enabled)
+            .map(|p| p.tid)
+            .find(|&t| {
+                !node.sleep.iter().any(|&(st, _)| st == t)
+                    && node.base_preempt + preempt_cost(node, t) <= bound
+            });
+        if let Some(t) = alt {
+            node.chosen = t;
+            return true;
+        }
+        stack.pop();
+    }
+    false
+}
+
+/// Explore `body`'s schedules under `opts`. Stops at the first failure (with
+/// a replayable trace), on exhausting the in-budget tree (`complete`), or on
+/// `max_schedules`.
+pub fn explore<F>(name: &str, opts: &ModelOptions, body: F) -> ExploreResult
+where
+    F: Fn(&mut Env) + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let start = Instant::now();
+    let mut stack: Vec<Node> = Vec::new();
+    let mut schedules = 0u64;
+    let mut pruned = 0u64;
+    let mut decisions = 0u64;
+    loop {
+        let mut sched = DfsSched {
+            stack: &mut stack,
+            depth: 0,
+            cur_sleep: Vec::new(),
+            preempt: 0,
+            rng: XorShift::new(opts.seed),
+            sleep_sets: opts.sleep_sets,
+        };
+        let out = run_schedule(body.clone(), &mut sched, opts.max_steps);
+        decisions += out.steps.len() as u64;
+        if out.pruned {
+            pruned += 1;
+        } else {
+            schedules += 1;
+        }
+        if let Some(message) = out.failure {
+            let trace = Trace {
+                harness: name.to_string(),
+                seed: opts.seed,
+                preemptions: opts.preemptions,
+                schedule: schedules,
+                steps: out.steps,
+                failure: Some(message.clone()),
+            };
+            return ExploreResult {
+                schedules,
+                pruned,
+                decisions,
+                complete: false,
+                failure: Some(Failure { message, trace }),
+                wall: start.elapsed(),
+            };
+        }
+        if !backtrack(&mut stack, opts.preemptions) {
+            return ExploreResult {
+                schedules,
+                pruned,
+                decisions,
+                complete: true,
+                failure: None,
+                wall: start.elapsed(),
+            };
+        }
+        if schedules + pruned >= opts.max_schedules {
+            return ExploreResult {
+                schedules,
+                pruned,
+                decisions,
+                complete: false,
+                failure: None,
+                wall: start.elapsed(),
+            };
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct ReplayOutcome {
+    /// The failure the replayed schedule produced, if any.
+    pub failure: Option<String>,
+    /// Steps actually executed (equals the trace prefix that applied).
+    pub steps: Vec<Step>,
+    /// Set when the execution stopped following the trace (wrong pending
+    /// set, disabled thread, trace exhausted early).
+    pub diverged: Option<String>,
+}
+
+struct ReplaySched<'a> {
+    steps: &'a [Step],
+    at: usize,
+    diverged: Option<String>,
+}
+
+impl Scheduler for ReplaySched<'_> {
+    fn choose(
+        &mut self,
+        step: usize,
+        _prev: Option<usize>,
+        _run_len: usize,
+        pending: &[PendingOp],
+    ) -> Option<usize> {
+        let Some(s) = self.steps.get(self.at) else {
+            self.diverged = Some(format!(
+                "execution needs a decision at step {step} but the trace ended"
+            ));
+            return None;
+        };
+        match pending.iter().find(|p| p.tid == s.tid) {
+            Some(p) if p.enabled && p.kind == s.kind && p.obj == s.obj => {
+                self.at += 1;
+                Some(s.tid)
+            }
+            _ => {
+                self.diverged = Some(format!(
+                    "trace diverged at step {step}: recorded t{} {}(obj{})",
+                    s.tid,
+                    s.kind.name(),
+                    s.obj
+                ));
+                None
+            }
+        }
+    }
+}
+
+/// Re-execute exactly the schedule in `trace` against `body`. Deterministic:
+/// the same trace against the same harness yields the same outcome.
+pub fn replay<F>(trace: &Trace, body: F) -> ReplayOutcome
+where
+    F: Fn(&mut Env) + Send + Sync + 'static,
+{
+    let mut sched = ReplaySched {
+        steps: &trace.steps,
+        at: 0,
+        diverged: None,
+    };
+    let out = run_schedule(Arc::new(body), &mut sched, trace.steps.len() + 1);
+    ReplayOutcome {
+        failure: out.failure,
+        steps: out.steps,
+        diverged: sched.diverged,
+    }
+}

@@ -1,0 +1,49 @@
+//! Toy harnesses: known-racy and known-correct counters.
+//!
+//! These exercise the checker itself (facade atomics, `yield_point!`, mutex
+//! modeling, failure capture) with a state space small enough to enumerate
+//! by hand, and they anchor the determinism tests: their failure messages
+//! contain no addresses, paths or iteration-order artifacts, so the whole
+//! trace must be byte-identical run to run.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use ariesim_common::msync::AtomicU32;
+
+use crate::runtime::Env;
+
+/// Deliberate race: the increment is a separate facade load and store, so
+/// two threads interleaving between them lose an update.
+pub fn lost_update(env: &mut Env) {
+    let c = Arc::new(AtomicU32::new(0));
+    for _ in 0..2 {
+        let c = c.clone();
+        env.spawn(move || {
+            // ordering: the race under test is the non-atomicity of the
+            // load/store pair, not the memory orders.
+            let v = c.load(Ordering::Acquire);
+            ariesim_common::yield_point!();
+            // ordering: see the load above.
+            c.store(v + 1, Ordering::Release);
+        });
+    }
+    env.join();
+    // ordering: single-threaded again after join.
+    assert_eq!(c.load(Ordering::Acquire), 2, "lost update");
+}
+
+/// The correct twin: the read-modify-write runs under a mutex. Exploration
+/// must complete without a failure.
+pub fn mutex_counter(env: &mut Env) {
+    let c = Arc::new(parking_lot::Mutex::new(0u32));
+    for _ in 0..2 {
+        let c = c.clone();
+        env.spawn(move || {
+            let mut g = c.lock();
+            *g += 1;
+        });
+    }
+    env.join();
+    assert_eq!(*c.lock(), 2, "mutex counter lost an update");
+}

@@ -1,0 +1,227 @@
+//! Replayable schedule traces, serialized as JSONL.
+//!
+//! Line 1 is a header object (harness, seed, preemption bound, index of the
+//! schedule within the exploration); each subsequent `step` line is one
+//! scheduling decision; an optional trailing `failure` line carries the
+//! assertion/deadlock message. The format is hand-rolled (the workspace has
+//! no JSON dependency) and deliberately flat — every value is a u64, a bool,
+//! or an escaped string — so the parser below is a few string scans.
+//!
+//! Object ids are the controller's small first-seen ordinals, not addresses,
+//! which is what makes a trace stable across processes: re-executing the
+//! same decisions makes the same objects appear in the same order.
+
+use parking_lot::sched::OpKind;
+
+/// One scheduling decision: virtual thread `tid` executed `op` on object
+/// `obj`. `ok` records the dictated outcome of a try-op (always `true` for
+/// everything else).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Step {
+    pub tid: usize,
+    pub kind: OpKind,
+    pub obj: u32,
+    pub ok: bool,
+}
+
+/// A complete schedule: enough to re-execute one interleaving exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    pub harness: String,
+    pub seed: u64,
+    pub preemptions: usize,
+    /// 1-based index of this schedule within the exploration that produced
+    /// it (diagnostic only; replay does not use it).
+    pub schedule: u64,
+    pub steps: Vec<Step>,
+    pub failure: Option<String>,
+}
+
+impl Trace {
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"harness\":\"{}\",\"seed\":{},\"preemptions\":{},\"schedule\":{}}}\n",
+            esc(&self.harness),
+            self.seed,
+            self.preemptions,
+            self.schedule
+        ));
+        for (i, s) in self.steps.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"step\":{},\"tid\":{},\"op\":\"{}\",\"obj\":{},\"ok\":{}}}\n",
+                i,
+                s.tid,
+                s.kind.name(),
+                s.obj,
+                s.ok
+            ));
+        }
+        if let Some(f) = &self.failure {
+            out.push_str(&format!("{{\"failure\":\"{}\"}}\n", esc(f)));
+        }
+        out
+    }
+
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty trace")?;
+        let harness = field_str(header, "harness").ok_or("header missing \"harness\"")?;
+        let seed = field_u64(header, "seed").ok_or("header missing \"seed\"")?;
+        let preemptions =
+            field_u64(header, "preemptions").ok_or("header missing \"preemptions\"")? as usize;
+        let schedule = field_u64(header, "schedule").unwrap_or(0);
+        let mut steps = Vec::new();
+        let mut failure = None;
+        for (n, line) in lines.enumerate() {
+            if let Some(f) = field_str(line, "failure") {
+                failure = Some(f);
+                continue;
+            }
+            let tid = field_u64(line, "tid").ok_or_else(|| format!("line {}: no tid", n + 2))?;
+            let op = field_str(line, "op").ok_or_else(|| format!("line {}: no op", n + 2))?;
+            let kind =
+                OpKind::parse(&op).ok_or_else(|| format!("line {}: unknown op {op:?}", n + 2))?;
+            let obj = field_u64(line, "obj").ok_or_else(|| format!("line {}: no obj", n + 2))?;
+            let ok = field_bool(line, "ok").unwrap_or(true);
+            steps.push(Step {
+                tid: tid as usize,
+                kind,
+                obj: obj as u32,
+                ok,
+            });
+        }
+        Ok(Trace {
+            harness,
+            seed,
+            preemptions,
+            schedule,
+            steps,
+            failure,
+        })
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = it.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Scan `line` for `"key":<value>` and return the raw value slice.
+fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut esc = false;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '\\' if !esc => esc = true,
+                '"' if !esc => return Some(&stripped[..i]),
+                _ => esc = false,
+            }
+        }
+        None
+    } else {
+        let end = rest
+            .find([',', '}'])
+            .unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field_raw(line, key)?.parse().ok()
+}
+
+fn field_bool(line: &str, key: &str) -> Option<bool> {
+    match field_raw(line, key)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    if !line.contains(&pat) {
+        return None;
+    }
+    Some(unesc(field_raw(line, key)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let t = Trace {
+            harness: "toy_lost_update".into(),
+            seed: 42,
+            preemptions: 2,
+            schedule: 7,
+            steps: vec![
+                Step {
+                    tid: 0,
+                    kind: OpKind::ThreadStart,
+                    obj: 0,
+                    ok: true,
+                },
+                Step {
+                    tid: 1,
+                    kind: OpKind::MutexTryLock,
+                    obj: 3,
+                    ok: false,
+                },
+            ],
+            failure: Some("assertion failed: a == b\nleft: \"1\"".into()),
+        };
+        let text = t.to_jsonl();
+        let back = Trace::parse(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Trace::parse("").is_err());
+        assert!(Trace::parse("{\"harness\":\"x\",\"seed\":1,\"preemptions\":2}\n{\"nope\":1}").is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Scheduler determinism: the checker's one hard meta-guarantee.
+//!
+//! Same seed + same harness must produce a byte-identical exploration —
+//! including the failure trace — and replaying a trace must reproduce the
+//! identical failure. Everything else the checker claims (found a race,
+//! proved a bound exhaustively) rests on this, because a nondeterministic
+//! checker's traces would be unreproducible anecdotes.
+
+use proptest::prelude::*;
+
+use ariesim_model::harness;
+use ariesim_model::trace::Trace;
+use ariesim_model::ModelOptions;
+
+fn opts_with_seed(seed: u64) -> ModelOptions {
+    ModelOptions {
+        seed,
+        ..ModelOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Byte-identical traces across repeated explorations, any seed, and a
+    /// replay that reproduces the identical failure message.
+    #[test]
+    fn same_seed_byte_identical_trace(seed in 0u64..1_000_000) {
+        let h = harness::find("toy_lost_update").unwrap();
+        let opts = opts_with_seed(seed);
+        let a = harness::run(&h, &opts);
+        let b = harness::run(&h, &opts);
+        let fa = a.failure.expect("the deliberate race must be found");
+        let fb = b.failure.expect("the deliberate race must be found");
+        prop_assert_eq!(fa.trace.to_jsonl(), fb.trace.to_jsonl());
+        prop_assert_eq!(&fa.message, &fb.message);
+        prop_assert_eq!((a.schedules, a.pruned, a.decisions), (b.schedules, b.pruned, b.decisions));
+
+        let rep = harness::run_replay(&h, &fa.trace);
+        prop_assert!(rep.diverged.is_none(), "replay diverged: {:?}", rep.diverged);
+        prop_assert_eq!(rep.failure.as_deref(), Some(fa.message.as_str()));
+    }
+}
+
+/// The passing harnesses explore identically run to run: counts, verdicts
+/// and completeness are all functions of (harness, options) only.
+#[test]
+fn exploration_counts_deterministic() {
+    for name in ["toy_mutex_counter", "pool_claim_install", "wal_flush_mirror"] {
+        let h = harness::find(name).unwrap();
+        let opts = ModelOptions::default();
+        let a = harness::run(&h, &opts);
+        let b = harness::run(&h, &opts);
+        assert!(a.failure.is_none(), "{name} failed: {:?}", a.failure.map(|f| f.message));
+        assert!(a.complete, "{name} did not exhaust its bound");
+        assert_eq!(
+            (a.schedules, a.pruned, a.decisions, a.complete),
+            (b.schedules, b.pruned, b.decisions, b.complete),
+            "{name} explored differently on the second run"
+        );
+    }
+}
+
+/// A trace survives serialization: parse(to_jsonl(t)) replays to the same
+/// failure as the in-memory trace.
+#[test]
+fn serialized_trace_replays_identically() {
+    let h = harness::find("toy_lost_update").unwrap();
+    let res = harness::run(&h, &ModelOptions::default());
+    let f = res.failure.expect("race must be found");
+    let parsed = Trace::parse(&f.trace.to_jsonl()).expect("trace round-trips");
+    assert_eq!(parsed, f.trace);
+    let rep = harness::run_replay(&h, &parsed);
+    assert!(rep.diverged.is_none(), "replay diverged: {:?}", rep.diverged);
+    assert_eq!(rep.failure, Some(f.message));
+}
+
+/// Different seeds may explore in a different order but must reach the same
+/// verdict on a Pass harness.
+#[test]
+fn verdict_independent_of_seed() {
+    let h = harness::find("toy_mutex_counter").unwrap();
+    for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+        let res = harness::run(&h, &opts_with_seed(seed));
+        assert!(res.failure.is_none(), "seed {seed} found a phantom failure");
+        assert!(res.complete, "seed {seed} did not exhaust the bound");
+    }
+}

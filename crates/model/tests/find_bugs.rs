@@ -1,0 +1,87 @@
+//! The checker's regression oracle: it must rediscover the two historical
+//! pool races (re-injected behind the `model-bugs` feature) within the
+//! default (`--quick`) budget, replay each discovery from its trace, and
+//! still pass the fixed protocols exhaustively at the same bound.
+//!
+//! Bug arming is process-global, so every test here serializes on one lock
+//! — including the fixed-harness test, which must not run while a sibling
+//! test has a race armed.
+#![cfg(feature = "model-bugs")]
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use ariesim_model::harness;
+use ariesim_model::ModelOptions;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static M: OnceLock<Mutex<()>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn assert_bug_found(name: &str, expect_in_message: &str) {
+    let h = harness::find(name).unwrap_or_else(|| panic!("{name} not registered"));
+    let res = harness::run(&h, &ModelOptions::default());
+    let f = res
+        .failure
+        .unwrap_or_else(|| panic!("{name}: race not found in {} schedules", res.schedules));
+    assert!(
+        f.message.contains(expect_in_message),
+        "{name}: tripped the wrong oracle: {}",
+        f.message
+    );
+    assert!(
+        !f.trace.steps.is_empty(),
+        "{name}: failure came with an empty schedule"
+    );
+    // The discovery must be replayable: identical failure from the trace.
+    let rep = harness::run_replay(&h, &f.trace);
+    assert!(
+        rep.diverged.is_none(),
+        "{name}: replay diverged: {:?}",
+        rep.diverged
+    );
+    assert_eq!(
+        rep.failure.as_deref(),
+        Some(f.message.as_str()),
+        "{name}: replay produced a different failure"
+    );
+}
+
+#[test]
+fn finds_double_install_race() {
+    let _g = serial();
+    assert_bug_found("pool_double_install_bug", "orphaned frame");
+}
+
+#[test]
+fn finds_stale_pin_race() {
+    let _g = serial();
+    assert_bug_found("pool_stale_pin_bug", "stale pin");
+}
+
+/// With the bugs disarmed, the fixed protocols pass *exhaustively* at the
+/// same preemption bound the discoveries used.
+#[test]
+fn fixed_protocols_pass_exhaustively_at_bound_2() {
+    let _g = serial();
+    for name in [
+        "pool_claim_install",
+        "pool_pin_vs_evict",
+        "pool_failed_load_unwind",
+        "wal_flush_mirror",
+    ] {
+        let h = harness::find(name).unwrap();
+        let res = harness::run(&h, &ModelOptions::default());
+        assert!(
+            res.failure.is_none(),
+            "{name} failed with the bugs disarmed: {:?}",
+            res.failure.map(|f| f.message)
+        );
+        assert!(
+            res.complete,
+            "{name} did not exhaust preemption bound 2 within budget"
+        );
+    }
+}

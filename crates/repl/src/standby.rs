@@ -175,7 +175,7 @@ impl Standby {
 
     /// The applied-LSN watermark: reads reflect the log exactly up to here.
     pub fn applied_lsn(&self) -> Lsn {
-        Lsn(self.applied.load(Ordering::Acquire))
+        Lsn(self.applied.load(Ordering::Acquire)) // ordering: pairs with the Release store in apply_available
     }
 
     /// Durable primary log this standby has not yet applied, in bytes
@@ -249,6 +249,7 @@ impl Standby {
                 upto,
                 APPLY_BATCH,
             )?;
+            // ordering: publishes the pages applied above; applied_lsn readers see a page image at least this new
             self.applied.store(cur.at.0, Ordering::Release);
             drop(span);
             if examined == 0 {

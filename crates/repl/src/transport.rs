@@ -94,12 +94,13 @@ impl LogTransport for InProcessTransport {
     }
 
     fn publish_master(&self, ckpt: Lsn) -> Result<()> {
+        // ordering: the master record only advances after its checkpoint is in the buffer (Mutex-published)
         self.master.store(ckpt.0, Ordering::Release);
         Ok(())
     }
 
     fn master(&self) -> Result<Lsn> {
-        Ok(Lsn(self.master.load(Ordering::Acquire)))
+        Ok(Lsn(self.master.load(Ordering::Acquire))) // ordering: pairs with the Release in publish_master
     }
 }
 

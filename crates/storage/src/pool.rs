@@ -59,7 +59,12 @@ use ariesim_wal::{DptEntry, LogManager};
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+// The per-frame protocol words (`pins`, `owner`) are model-checkable facade
+// atomics — their interleavings are what `crates/model`'s pool harnesses
+// explore; the per-shard traffic counters are plain std atomics (pure
+// statistics, no protocol).
+use ariesim_common::msync::AtomicU32;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -144,6 +149,70 @@ impl PoolOptions {
         };
         requested.clamp(1, (self.frames / 16).max(1)).min(64)
     }
+}
+
+/// Re-injectable historical races, compiled only under the `model-bugs`
+/// feature and armed at runtime: the model checker's own regression oracle
+/// (its tests assert it rediscovers each within the quick schedule budget).
+/// Both are real bugs this pool shipped with before its concurrency review:
+///
+/// * **double install** — the install path re-checked only the victim's
+///   pin count, not the shard page table, so two racing misses on the same
+///   page could each install it into a different frame;
+/// * **stale pin** — latch acquisition did not validate the frame's owner
+///   word, so a pin taken through a mapping that a failed load later
+///   unwound would silently read whatever image the frame held next.
+#[cfg(feature = "model-bugs")]
+pub mod bugs {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static DOUBLE_INSTALL: AtomicBool = AtomicBool::new(false);
+    static STALE_PIN: AtomicBool = AtomicBool::new(false);
+
+    /// Arm/disarm the double-install race (process-global).
+    pub fn arm_double_install(on: bool) {
+        // ordering: arming happens before threads spawn and is read through
+        // a schedule point anyway; relaxed is sufficient.
+        DOUBLE_INSTALL.store(on, Ordering::Relaxed);
+    }
+
+    /// Arm/disarm the stale-pin race (process-global).
+    pub fn arm_stale_pin(on: bool) {
+        // ordering: see `arm_double_install`.
+        STALE_PIN.store(on, Ordering::Relaxed);
+    }
+
+    pub(crate) fn double_install_armed() -> bool {
+        // ordering: flag only; no data is published through it.
+        DOUBLE_INSTALL.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn stale_pin_armed() -> bool {
+        // ordering: flag only; no data is published through it.
+        STALE_PIN.load(Ordering::Relaxed)
+    }
+}
+
+/// True while the historical double-install race is re-injected.
+#[cfg(feature = "model-bugs")]
+fn bug_double_install() -> bool {
+    bugs::double_install_armed()
+}
+
+#[cfg(not(feature = "model-bugs"))]
+fn bug_double_install() -> bool {
+    false
+}
+
+/// True while the historical stale-pin race is re-injected.
+#[cfg(feature = "model-bugs")]
+fn bug_stale_pin() -> bool {
+    bugs::stale_pin_armed()
+}
+
+#[cfg(not(feature = "model-bugs"))]
+fn bug_stale_pin() -> bool {
+    false
 }
 
 #[derive(Clone, Copy)]
@@ -336,10 +405,11 @@ impl BufferPool {
             .iter()
             .map(|s| {
                 (
+                    // ordering: advisory per-shard counters; nothing synchronizes-with them
                     s.counters.hits.load(Ordering::Relaxed),
-                    s.counters.misses.load(Ordering::Relaxed),
-                    s.counters.evictions.load(Ordering::Relaxed),
-                    s.counters.contended.load(Ordering::Relaxed),
+                    s.counters.misses.load(Ordering::Relaxed), // ordering: as above
+                    s.counters.evictions.load(Ordering::Relaxed), // ordering: as above
+                    s.counters.contended.load(Ordering::Relaxed), // ordering: as above
                 )
             })
             .collect()
@@ -349,6 +419,7 @@ impl BufferPool {
     pub fn total_pins(&self) -> u64 {
         self.frames
             .iter()
+            // ordering: pin words synchronize via AcqRel RMWs; Acquire here keeps this sum coherent with them (still advisory across frames)
             .map(|f| f.pins.load(Ordering::Acquire) as u64)
             .sum()
     }
@@ -361,25 +432,25 @@ impl BufferPool {
             reg.register_counter(
                 &format!("pool_shard_{sid}_hits"),
                 "per-partition buffer-pool page-table hits",
-                move || p.shards[sid].counters.hits.load(Ordering::Relaxed),
+                move || p.shards[sid].counters.hits.load(Ordering::Relaxed), // ordering: advisory counter gauge
             );
             let p = self.clone();
             reg.register_counter(
                 &format!("pool_shard_{sid}_misses"),
                 "per-partition buffer-pool misses",
-                move || p.shards[sid].counters.misses.load(Ordering::Relaxed),
+                move || p.shards[sid].counters.misses.load(Ordering::Relaxed), // ordering: advisory counter gauge
             );
             let p = self.clone();
             reg.register_counter(
                 &format!("pool_shard_{sid}_evictions"),
                 "per-partition buffer-pool evictions",
-                move || p.shards[sid].counters.evictions.load(Ordering::Relaxed),
+                move || p.shards[sid].counters.evictions.load(Ordering::Relaxed), // ordering: advisory counter gauge
             );
             let p = self.clone();
             reg.register_counter(
                 &format!("pool_shard_{sid}_contended"),
                 "per-partition shard-mutex acquisitions that found it held",
-                move || p.shards[sid].counters.contended.load(Ordering::Relaxed),
+                move || p.shards[sid].counters.contended.load(Ordering::Relaxed), // ordering: advisory counter gauge
             );
         }
     }
@@ -396,8 +467,9 @@ impl BufferPool {
         let inner = match shard.inner.try_lock() {
             Some(g) => g,
             None => {
+                // ordering: contention counters are advisory; no payload rides on them
                 shard.counters.contended.fetch_add(1, Ordering::Relaxed);
-                self.obs.pool.shard_contended.fetch_add(1, Ordering::Relaxed);
+                self.obs.pool.shard_contended.fetch_add(1, Ordering::Relaxed); // ordering: as above
                 shard.inner.lock()
             }
         };
@@ -521,7 +593,12 @@ impl BufferPool {
                 g
             }
         };
-        if self.frames[pin.frame].owner.load(Ordering::Acquire) != pin.page.0 {
+        // ordering: acquire pairs with the Release owner store at
+        // install/unwind — seeing the new owner implies seeing the table
+        // state that produced it.
+        if !bug_stale_pin()
+            && self.frames[pin.frame].owner.load(Ordering::Acquire) != pin.page.0 // ordering: pairs with the Release owner stores
+        {
             return Err(Error::StalePin { page: pin.page });
         }
         self.stats.latches_page.bump();
@@ -555,7 +632,11 @@ impl BufferPool {
                 g
             }
         };
-        if self.frames[pin.frame].owner.load(Ordering::Acquire) != pin.page.0 {
+        // ordering: see `latch_frame_s` — acquire pairs with the Release
+        // owner store at install/unwind.
+        if !bug_stale_pin()
+            && self.frames[pin.frame].owner.load(Ordering::Acquire) != pin.page.0 // ordering: pairs with the Release owner stores
+        {
             return Err(Error::StalePin { page: pin.page });
         }
         self.stats.latches_page.bump();
@@ -602,11 +683,13 @@ impl BufferPool {
             let mut g = self.lock_shard(sid, "storage::pool::claim");
             if let Some(&local) = g.table.get(&page) {
                 let gidx = self.shards[sid].base + local;
+                // ordering: AcqRel pin increment pairs with the install/eviction pin checks — a nonzero count must imply a visible frame
                 self.frames[gidx].pins.fetch_add(1, Ordering::AcqRel);
                 g.policy.on_hit(local);
                 drop(g);
+                // ordering: advisory counters; nothing synchronizes-with them
                 self.shards[sid].counters.hits.fetch_add(1, Ordering::Relaxed);
-                self.obs.pool.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.pool.hits.fetch_add(1, Ordering::Relaxed); // ordering: as above
                 return Ok(Claimed::Hit(PinGuard {
                     pool: self.clone(),
                     frame: gidx,
@@ -625,6 +708,7 @@ impl BufferPool {
                 let frames = &self.frames;
                 inner.policy.victim(&mut |local| {
                     let fr = &frames[base + local];
+                    // ordering: pairs with the AcqRel pin RMWs; a frame seen unpinned here is re-checked under its write latch before eviction
                     if fr.pins.load(Ordering::Acquire) != 0 {
                         return false;
                     }
@@ -700,7 +784,10 @@ impl BufferPool {
             // ran (the disk image is current; we held the write latch
             // throughout), and retry — the next pass takes the hit path.
             let mut g = self.lock_shard(sid, "storage::pool::claim.install");
-            if self.frames[gidx].pins.load(Ordering::Acquire) != 0 || g.table.contains_key(&page)
+            // ordering: pin re-check pairs with the AcqRel pin increments; a
+            // hit that pinned this frame during the I/O must be visible here.
+            if self.frames[gidx].pins.load(Ordering::Acquire) != 0
+                || (!bug_double_install() && g.table.contains_key(&page))
             {
                 if old.dirty {
                     g.meta[local].dirty = false;
@@ -718,16 +805,20 @@ impl BufferPool {
             }
             g.table.insert(page, local);
             g.meta[local] = FrameMeta { page, dirty: false };
+            // ordering: Release publishes the table/meta state that produced this owner; stale-pin re-checks load it with Acquire
             self.frames[gidx].owner.store(page.0, Ordering::Release);
             g.policy.on_load(local);
+            // ordering: AcqRel pin increment pairs with eviction pin checks
             let prev = self.frames[gidx].pins.fetch_add(1, Ordering::AcqRel);
             debug_assert_eq!(prev, 0, "victim frame was pinned");
             drop(g);
+            // ordering: advisory counters; nothing synchronizes-with them
             self.shards[sid].counters.misses.fetch_add(1, Ordering::Relaxed);
-            self.obs.pool.misses.fetch_add(1, Ordering::Relaxed);
+            self.obs.pool.misses.fetch_add(1, Ordering::Relaxed); // ordering: as above
             if !old.page.is_null() {
+                // ordering: advisory counters; nothing synchronizes-with them
                 self.shards[sid].counters.evictions.fetch_add(1, Ordering::Relaxed);
-                self.obs.pool.evictions.fetch_add(1, Ordering::Relaxed);
+                self.obs.pool.evictions.fetch_add(1, Ordering::Relaxed); // ordering: as above
             }
             let pin = PinGuard {
                 pool: self.clone(),
@@ -754,6 +845,7 @@ impl BufferPool {
                     if g.table.get(&page) == Some(&local) {
                         g.table.remove(&page);
                         g.meta[local] = FrameMeta::FREE;
+                        // ordering: Release publishes the table removal; a pinned reader's Acquire owner re-check must see NULL and fail
                         self.frames[gidx].owner.store(PageId::NULL.0, Ordering::Release);
                     }
                 }
@@ -767,6 +859,7 @@ impl BufferPool {
     }
 
     fn unpin_frame(&self, frame: usize) {
+        // ordering: AcqRel decrement pairs with eviction pin checks; the release half orders our page accesses before a later evictor reuses the frame
         let prev = self.frames[frame].pins.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "unpin of unpinned frame");
     }
@@ -869,6 +962,7 @@ impl BufferPool {
                 return Ok(0);
             };
             let gidx = self.shards[sid].base + local;
+            // ordering: AcqRel pin increment pairs with eviction pin checks
             self.frames[gidx].pins.fetch_add(1, Ordering::AcqRel);
             // Deliberately no `policy.on_hit`: the writer must not make
             // pages look hot.
@@ -898,7 +992,7 @@ impl BufferPool {
         }
         crash_point!("pool.bgwriter.after_write");
         self.obs.hist.page_write.record_since(io);
-        self.obs.pool.bg_writer_pages.fetch_add(1, Ordering::Relaxed);
+        self.obs.pool.bg_writer_pages.fetch_add(1, Ordering::Relaxed); // ordering: advisory counter
         self.note_write_back(page, guard.page_lsn());
         let mut g = self.lock_shard(sid, "storage::pool::bg_clean");
         if let Some(&local) = g.table.get(&page) {
@@ -980,6 +1074,7 @@ impl BufferPool {
                     "table entry names a frame holding another page"
                 );
                 assert_eq!(
+                    // ordering: pairs with the Release owner stores; validation must see the table state that set the owner
                     self.frames[base + local].owner.load(Ordering::Acquire),
                     page.0,
                     "frame owner word drifted from the page table"
@@ -1095,6 +1190,7 @@ impl Clone for PinGuard {
     fn clone(&self) -> PinGuard {
         // Safe without the shard mutex: we hold a pin, so the count is ≥ 1
         // and eviction (which requires 0) cannot race the increment.
+        // ordering: AcqRel pin increment pairs with eviction pin checks
         self.pool.frames[self.frame].pins.fetch_add(1, Ordering::AcqRel);
         PinGuard {
             pool: self.pool.clone(),

@@ -23,7 +23,11 @@ use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+// The durable-LSN mirror is a model-checkable facade atomic: its protocol
+// against concurrent appenders/flushers is covered by `crates/model`'s WAL
+// harness.
+use ariesim_common::msync::AtomicU64;
+use std::sync::atomic::Ordering;
 
 /// Tuning and durability options.
 #[derive(Clone, Debug, Default)]
@@ -154,7 +158,7 @@ impl LogManager {
         // WAL-rule check during page write-back would serialize behind an
         // in-flight group flush. `flushed` only ever grows, so a stale read
         // is safe — we just fall through to the locked path.
-        if lsn.0 < self.flushed.load(Ordering::Acquire) {
+        if lsn.0 < self.flushed.load(Ordering::Acquire) { // ordering: pairs with the Release store after fsync
             return Ok(());
         }
         let mut g = self.inner.lock();
@@ -196,6 +200,7 @@ impl LogManager {
         }
         crash_point!("wal.flush.end");
         g.durable_end = g.tail;
+        // ordering: Release publishes the fsync'd prefix; Acquire readers of `flushed` may then skip the lock
         self.flushed.store(g.durable_end.0, Ordering::Release);
         self.stats.log_forces.bump();
         self.obs.hist.log_force.record_since(force);
@@ -211,7 +216,7 @@ impl LogManager {
 
     /// LSN below which everything is stable.
     pub fn flushed_lsn(&self) -> Lsn {
-        Lsn(self.flushed.load(Ordering::Acquire))
+        Lsn(self.flushed.load(Ordering::Acquire)) // ordering: pairs with the Release store after fsync
     }
 
     /// LSN of the most recently appended record; NULL if the log is empty.
@@ -365,6 +370,7 @@ impl LogManager {
         g.tail = Lsn(g.image.len() as u64);
         g.durable_end = g.tail;
         g.last_lsn = last;
+        // ordering: Release publishes the fsync'd prefix; Acquire readers of `flushed` may then skip the lock
         self.flushed.store(g.durable_end.0, Ordering::Release);
         self.stats.log_records.add(frames);
         self.stats.log_bytes.add(chunk.len() as u64);

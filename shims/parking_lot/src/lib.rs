@@ -21,11 +21,26 @@
 //!   the lock shared can re-enter without self-deadlock;
 //! * `downgrade` is atomic: no writer can sneak in between the write and
 //!   read phases.
+//!
+//! Additionally, every acquire/release path reports to the model checker's
+//! schedule-point hooks (see [`sched`]); on ordinary threads that is a
+//! single thread-local flag read.
 
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::sync::Arc;
 use std::time::Duration;
+
+pub mod sched;
+
+use sched::OpKind;
+
+/// Address of a lock, used as its identity at schedule points. Fat pointers
+/// (unsized `T`) lose their metadata in the cast, which is exactly right:
+/// identity is the allocation, not the view.
+fn obj_id<T: ?Sized>(p: *const T) -> sched::ObjId {
+    p as *const () as usize
+}
 
 // --- Mutex -----------------------------------------------------------------
 
@@ -48,16 +63,27 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        let obj = obj_id(self);
+        sched::acquire_point(OpKind::MutexLock, obj);
         MutexGuard {
             inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            obj,
         }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let obj = obj_id(self);
+        if !sched::acquire_point(OpKind::MutexTryLock, obj) {
+            return None;
+        }
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Ok(g) => Some(MutexGuard {
+                inner: Some(g),
+                obj,
+            }),
             Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
                 inner: Some(e.into_inner()),
+                obj,
             }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
@@ -78,6 +104,17 @@ impl<T: Default> Default for Mutex<T> {
 /// can temporarily take the std guard by value.
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// Lock identity for the release schedule point.
+    obj: sched::ObjId,
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Real unlock first (dropping the std guard), then notify: the
+        // controller must never grant a waiter before the lock is free.
+        self.inner.take();
+        sched::release_point(OpKind::MutexUnlock, self.obj);
+    }
 }
 
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
@@ -123,6 +160,13 @@ impl Condvar {
     }
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // The model checker intercepts locks and atomics but not condvars
+        // (nothing it models uses one); a wait would park the virtual
+        // thread outside the controller's view and hang the schedule.
+        assert!(
+            !sched::thread_armed(),
+            "Condvar::wait is not supported under the model checker"
+        );
         let g = guard.inner.take().expect("guard present");
         let g = self.inner.wait(g).unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(g);
@@ -133,6 +177,10 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        assert!(
+            !sched::thread_armed(),
+            "Condvar::wait_for is not supported under the model checker"
+        );
         let g = guard.inner.take().expect("guard present");
         let (g, res) = match self.inner.wait_timeout(g, timeout) {
             Ok((g, res)) => (g, res),
@@ -203,6 +251,12 @@ impl<T: ?Sized> RwLock<T> {
     }
 
     fn lock_shared(&self, recursive: bool) {
+        let kind = if recursive {
+            OpKind::RwSharedRecursive
+        } else {
+            OpKind::RwShared
+        };
+        sched::acquire_point(kind, obj_id(self));
         let mut st = self.st();
         while st.writer || (!recursive && st.writers_waiting > 0) {
             st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
@@ -211,6 +265,14 @@ impl<T: ?Sized> RwLock<T> {
     }
 
     fn try_lock_shared(&self, recursive: bool) -> bool {
+        let kind = if recursive {
+            OpKind::RwTrySharedRecursive
+        } else {
+            OpKind::RwTryShared
+        };
+        if !sched::acquire_point(kind, obj_id(self)) {
+            return false;
+        }
         let mut st = self.st();
         if st.writer || (!recursive && st.writers_waiting > 0) {
             return false;
@@ -220,6 +282,7 @@ impl<T: ?Sized> RwLock<T> {
     }
 
     fn lock_exclusive(&self) {
+        sched::acquire_point(OpKind::RwExclusive, obj_id(self));
         let mut st = self.st();
         st.writers_waiting += 1;
         while st.writer || st.readers > 0 {
@@ -230,6 +293,9 @@ impl<T: ?Sized> RwLock<T> {
     }
 
     fn try_lock_exclusive(&self) -> bool {
+        if !sched::acquire_point(OpKind::RwTryExclusive, obj_id(self)) {
+            return false;
+        }
         let mut st = self.st();
         if st.writer || st.readers > 0 {
             return false;
@@ -239,29 +305,38 @@ impl<T: ?Sized> RwLock<T> {
     }
 
     fn unlock_shared(&self) {
-        let mut st = self.st();
-        debug_assert!(st.readers > 0);
-        st.readers -= 1;
-        if st.readers == 0 {
-            self.cond.notify_all();
+        {
+            let mut st = self.st();
+            debug_assert!(st.readers > 0);
+            st.readers -= 1;
+            if st.readers == 0 {
+                self.cond.notify_all();
+            }
         }
+        sched::release_point(OpKind::RwUnlockShared, obj_id(self));
     }
 
     fn unlock_exclusive(&self) {
-        let mut st = self.st();
-        debug_assert!(st.writer);
-        st.writer = false;
-        self.cond.notify_all();
+        {
+            let mut st = self.st();
+            debug_assert!(st.writer);
+            st.writer = false;
+            self.cond.notify_all();
+        }
+        sched::release_point(OpKind::RwUnlockExclusive, obj_id(self));
     }
 
     /// Exclusive → shared without a window for another writer.
     fn downgrade_exclusive(&self) {
-        let mut st = self.st();
-        debug_assert!(st.writer);
-        st.writer = false;
-        st.readers = 1;
-        // Other readers may join; waiting writers see readers > 0.
-        self.cond.notify_all();
+        {
+            let mut st = self.st();
+            debug_assert!(st.writer);
+            st.writer = false;
+            st.readers = 1;
+            // Other readers may join; waiting writers see readers > 0.
+            self.cond.notify_all();
+        }
+        sched::release_point(OpKind::RwDowngrade, obj_id(self));
     }
 
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
