@@ -70,8 +70,19 @@ impl BTree {
             let mut leaf = self.traverse(&search, true)?;
             // Figure 7: SM_Bit check.
             if leaf.page().sm_bit() {
-                if holding_tree_s || self.try_tree_s().is_some() { // latch-rank: 1 (conditional)
+                if holding_tree_s {
+                    // Our own tree S latch covered the descent: no SMO could
+                    // have moved the leaf's range since; safe to proceed.
                     leaf.as_x()?.set_sm_bit(false);
+                } else if self.try_tree_s().is_some() { // latch-rank: 1 (conditional)
+                    leaf.as_x()?.set_sm_bit(false);
+                    // The set bit proves an SMO touched this page after our
+                    // descent: the key may have been moved to a new right
+                    // sibling, and `leaf_contains` on this page would report
+                    // a spurious NotFound. The reset is kept (no SMO is in
+                    // progress); the position must be recomputed.
+                    drop(leaf);
+                    continue;
                 } else {
                     drop(leaf);
                     self.tree_instant_s(); // latch-rank: 1 (fresh)

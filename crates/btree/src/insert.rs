@@ -145,6 +145,15 @@ impl BTree {
                 let g = leaf.as_x()?;
                 g.set_sm_bit(false);
                 g.set_delete_bit(false);
+                // The set bit proves an SMO touched this page after our
+                // descent read the parent's separators: the split may have
+                // moved this key's range to a new right sibling between the
+                // parent latch release and our leaf latch grant, and
+                // inserting here would put the key beyond the parent's high
+                // key. The reset is kept (it is correct — no SMO is in
+                // progress), but the position must be recomputed.
+                drop(leaf);
+                return Ok(Step::Retry);
             } else {
                 // SMO in progress: wait for it without holding latches.
                 drop(leaf);

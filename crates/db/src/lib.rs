@@ -59,6 +59,11 @@ pub struct DbOptions {
     /// fsync the log on every force (off for tests; crashes are simulated at
     /// process level).
     pub fsync: bool,
+    /// Run the WAL's dedicated flusher thread (group commit with committers
+    /// never doing log I/O themselves). Off by default: the leader-based
+    /// group commit needs no extra thread and is what the deterministic
+    /// harnesses (model checker, torture) exercise.
+    pub wal_flusher: bool,
 }
 
 impl Default for DbOptions {
@@ -71,6 +76,7 @@ impl Default for DbOptions {
             protocol: LockProtocol::DataOnly,
             page_granularity: false,
             fsync: false,
+            wal_flusher: false,
         }
     }
 }
@@ -110,7 +116,11 @@ impl Db {
         let stats = new_stats();
         let log = Arc::new(LogManager::open_with_obs(
             &dir.join("wal"),
-            LogOptions { fsync: opts.fsync },
+            LogOptions {
+                fsync: opts.fsync,
+                flusher: opts.wal_flusher,
+                ..LogOptions::default()
+            },
             stats.clone(),
             obs.clone(),
         )?);

@@ -12,8 +12,11 @@
 //! previous thread costs one unit of budget; switching because the previous
 //! thread blocked or finished is free. A round-robin fairness switch every
 //! [`QUANTUM`] steps is also free — required, because the pool's claim path
-//! spins (`latch_busy` / install back-off yield loops) and a pure
-//! prefer-current policy would never let the lock holder run.
+//! and the WAL's drain/backpressure paths spin (`latch_busy` / help-drain
+//! yield loops) and a pure prefer-current policy would never let the lock
+//! holder run. The switch rotates over *enabled* threads, ignoring sleep
+//! sets: a sleeper whose pending op never conflicts with the spinner's ops
+//! would otherwise be starved into the step cap.
 //!
 //! Sleep sets (Godefroid): after exploring choice `c` at a node, `c` sleeps
 //! in every sibling subtree until some executed op touches the same object,
@@ -99,7 +102,19 @@ struct Node {
 }
 
 fn preempt_cost(node: &Node, tid: usize) -> usize {
-    usize::from(node.prev_enabled && node.prev != Some(tid) && !node.quantum_hit)
+    if node.quantum_hit {
+        // Past a full quantum the *fair* move is rotating away; keeping the
+        // same thread running while another is runnable is the scheduling
+        // perturbation that needs budget. Without this charge, backtracking
+        // at quantum nodes extends a spin loop (WAL help-drain, pool latch
+        // back-off) by one free quantum per schedule until the step cap —
+        // the starved thread's pending op never conflicts with the
+        // spinner's, so no other mechanism reins the schedule in.
+        let others = node.pending.iter().any(|p| p.enabled && Some(p.tid) != node.prev);
+        usize::from(node.prev == Some(tid) && others)
+    } else {
+        usize::from(node.prev_enabled && node.prev != Some(tid))
+    }
 }
 
 struct DfsSched<'a> {
@@ -152,12 +167,15 @@ impl Scheduler for DfsSched<'_> {
             chosen = match prev {
                 Some(p) if selectable.contains(&p) && !quantum_hit => p,
                 Some(p) if prev_enabled && quantum_hit => {
-                    // Fairness switch: cyclically next runnable thread.
-                    selectable
-                        .iter()
-                        .copied()
-                        .find(|&t| t > p)
-                        .unwrap_or(selectable[0])
+                    // Fairness switch: cyclically next *enabled* thread,
+                    // deliberately ignoring the sleep set. A spin loop's ops
+                    // (lock-free WAL drain: load/try_lock/yield) may never
+                    // conflict with a sleeper's pending op, so a rotation
+                    // restricted to `selectable` would starve the sleeper
+                    // forever and run the spinner into the step cap. Waking
+                    // a sleeper early costs pruning, never soundness — the
+                    // choose-time retain below clears its sleep entries.
+                    enabled.iter().copied().find(|&t| t > p).unwrap_or(enabled[0])
                 }
                 _ => selectable[self.rng.below(selectable.len())],
             };

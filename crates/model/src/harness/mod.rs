@@ -107,6 +107,20 @@ pub fn registry() -> Vec<Harness> {
             bug: None,
             body: wal::flush_mirror,
         },
+        Harness {
+            name: "wal_ring_publish",
+            about: "lock-free append ring with frames spanning segment boundaries: the durable mirror must never read ahead of published bytes",
+            expect: Expect::Pass,
+            bug: None,
+            body: wal::ring_publish,
+        },
+        Harness {
+            name: "wal_group_commit",
+            about: "leader-elected group commit vs a concurrent append+buffered-read: flush_to returns only once the caller's LSN is durable",
+            expect: Expect::Pass,
+            bug: None,
+            body: wal::group_commit,
+        },
     ];
     v.extend(bug_harnesses());
     v

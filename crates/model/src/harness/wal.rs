@@ -1,13 +1,22 @@
-//! WAL harness: `flush_to`'s lock-free durable-LSN mirror.
+//! WAL harnesses: the lock-free append/flush pipeline.
 //!
-//! `LogManager` keeps the durable end of the log twice: the truth inside
-//! the inner mutex, and an `AtomicU64` mirror that `flush_to`'s fast path
-//! and `flushed_lsn()` read without the lock. The protocol's invariant is
-//! that the mirror may *lag* the locked truth but never lead it — a mirror
-//! that ran ahead would let `flush_to` return before the log hit disk,
-//! breaking the WAL rule; a mirror that lagged forever would only cost an
-//! extra lock acquisition. The harness races two append+flush threads and
-//! asserts each sees its own LSN covered by the mirror after its flush.
+//! Three protocols, checked separately:
+//!
+//! * [`flush_mirror`] — `LogManager` keeps the durable end of the log
+//!   twice: the truth inside the inner mutex, and an `AtomicU64` mirror
+//!   that `flush_to`'s fast path and `flushed_lsn()` read without the
+//!   lock. The mirror may *lag* the locked truth but never lead it — a
+//!   mirror that ran ahead would let `flush_to` return before the log hit
+//!   disk, breaking the WAL rule.
+//! * [`ring_publish`] — the lock-free reservation ring with segments so
+//!   small that every frame spans a segment boundary, forcing torn
+//!   (multi-window) publications. The drain side must only advance over
+//!   fully published prefixes, so the durable mirror can never read ahead
+//!   of the published watermark.
+//! * [`group_commit`] — append + leader-elected group flush racing a
+//!   concurrent append + buffered read: flush_to must return only once the
+//!   caller's LSN is durable, and a buffered record must read back while a
+//!   flush is in flight.
 
 use std::sync::Arc;
 
@@ -46,4 +55,101 @@ pub fn flush_mirror(env: &mut Env) {
     }
     env.join();
     assert!(log.flushed_lsn() > base, "mirror never advanced");
+}
+
+/// Torn multi-window publications: 2 appenders into a 2×64-byte ring of
+/// 56-byte frames, so the second frame straddles the segment boundary and
+/// publishes in two `fetch_add`s (frames are capped at one segment by the
+/// ring's cross-lap backpressure, so a frame can span at most one edge).
+/// The durable mirror must never read ahead of the published watermark,
+/// and each appender must read its own record back.
+pub fn ring_publish(env: &mut Env) {
+    let dir = TempDir::new("model-wal-ring");
+    let opts = LogOptions {
+        ring_segments: 2,
+        ring_segment_bytes: 64,
+        ..LogOptions::default()
+    };
+    let log = Arc::new(
+        LogManager::open(&dir.file("wal"), opts, new_stats()).expect("open log"),
+    );
+    for t in 0..2u32 {
+        let log = log.clone();
+        env.spawn(move || {
+            let lsn = log.append(&LogRecord::update(
+                TxnId(u64::from(t) + 1),
+                Lsn::NULL,
+                RmId::Heap,
+                PageId(t + 1),
+                vec![t as u8; 18], // 56-byte frame: the 2nd spans the 64B edge
+            ));
+            // Snapshot order matters: mirror first, then published. The
+            // mirror only covers drained (hence published) bytes, so a
+            // mirror that leads publication is a protocol violation.
+            let mirror = log.flushed_lsn();
+            let published = log.published_lsn();
+            assert!(
+                mirror <= published,
+                "durable mirror {mirror:?} leads published watermark {published:?}"
+            );
+            // Reading the own record drains through any torn reservation
+            // the *other* appender has in flight (spin-to-stable).
+            let rec = log.read(lsn).expect("read own buffered record");
+            assert_eq!(rec.body, vec![t as u8; 18]);
+        });
+    }
+    env.join();
+    log.flush_all().expect("flush_all");
+    assert_eq!(log.scan(Lsn::NULL).count(), 2, "a published record was lost");
+    assert_eq!(
+        log.flushed_lsn(),
+        log.next_lsn(),
+        "flush_all left published bytes non-durable"
+    );
+}
+
+/// Leader-based group commit: one committer appends and forces, another
+/// appends and reads back while the flush may be in flight. `flush_to`
+/// must return only once the caller's LSN is durable.
+pub fn group_commit(env: &mut Env) {
+    let dir = TempDir::new("model-wal-gc");
+    let log = Arc::new(
+        LogManager::open(&dir.file("wal"), LogOptions::default(), new_stats())
+            .expect("open log"),
+    );
+    {
+        let log = log.clone();
+        env.spawn(move || {
+            let lsn = log.append(&LogRecord::update(
+                TxnId(1),
+                Lsn::NULL,
+                RmId::Heap,
+                PageId(1),
+                b"commit".to_vec(),
+            ));
+            log.flush_to(lsn).expect("flush_to");
+            assert!(
+                log.flushed_lsn() > lsn,
+                "flush_to returned before the record was durable"
+            );
+        });
+    }
+    {
+        let log = log.clone();
+        env.spawn(move || {
+            let lsn = log.append(&LogRecord::update(
+                TxnId(2),
+                Lsn::NULL,
+                RmId::Heap,
+                PageId(2),
+                b"buffered".to_vec(),
+            ));
+            let rec = log.read(lsn).expect("buffered read");
+            assert_eq!(rec.body, b"buffered");
+            log.flush_to(lsn).expect("flush_to");
+            assert!(log.flushed_lsn() > lsn);
+        });
+    }
+    env.join();
+    assert_eq!(log.scan(Lsn::NULL).count(), 2);
 }

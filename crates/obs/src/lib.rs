@@ -71,12 +71,17 @@ pub struct Histograms {
     pub repl_ingest: LatencyHistogram,
     /// One continuous-redo apply batch on a standby.
     pub repl_apply: LatencyHistogram,
+    /// Group-commit batch size **in waiters, not nanoseconds**: each flush
+    /// batch records how many committers it satisfied (leader/flusher plus
+    /// riders). Reuses the log2-bucket histogram for its cheap percentile
+    /// machinery; `p50`/`mean` read as waiter counts.
+    pub wal_group_batch: LatencyHistogram,
 }
 
 impl Histograms {
     /// Stable (name, histogram) listing used by the report and JSON
     /// exporters; order is the order rows appear in the report.
-    pub fn named(&self) -> [(&'static str, &LatencyHistogram); 13] {
+    pub fn named(&self) -> [(&'static str, &LatencyHistogram); 14] {
         [
             ("latch_wait_page", &self.latch_wait_page),
             ("latch_wait_tree", &self.latch_wait_tree),
@@ -91,6 +96,7 @@ impl Histograms {
             ("op_commit", &self.op_commit),
             ("repl_ingest", &self.repl_ingest),
             ("repl_apply", &self.repl_apply),
+            ("wal_group_batch", &self.wal_group_batch),
         ]
     }
 }
@@ -215,6 +221,25 @@ impl PoolCounters {
     }
 }
 
+/// WAL group-commit counters, bumped by `ariesim_wal::manager` and exposed
+/// through the metrics registry. Always live, like [`PoolCounters`]: plain
+/// relaxed atomics, no protocol role (the model checker ignores them).
+#[derive(Default)]
+pub struct WalCounters {
+    /// Group-flush batches executed (each is one write + optional fsync).
+    pub group_batches: AtomicU64,
+    /// Committers whose flush_to was satisfied by a batch they did not
+    /// lead: `riders / (batches + riders)` is the amortization ratio.
+    pub group_riders: AtomicU64,
+}
+
+impl WalCounters {
+    pub fn reset(&self) {
+        self.group_batches.store(0, Ordering::Relaxed);
+        self.group_riders.store(0, Ordering::Relaxed);
+    }
+}
+
 /// One observability domain: histograms + gauges + event ring + invariant
 /// monitor.
 pub struct Obs {
@@ -225,6 +250,8 @@ pub struct Obs {
     pub spans: SpanTotals,
     /// Buffer-pool traffic counters (see [`PoolCounters`]).
     pub pool: PoolCounters,
+    /// WAL group-commit counters (see [`WalCounters`]).
+    pub wal: WalCounters,
     pub ring: EventRing,
     pub monitor: Monitor,
 }
@@ -243,6 +270,7 @@ impl Obs {
             gauge: Gauges::default(),
             spans: SpanTotals::default(),
             pool: PoolCounters::default(),
+            wal: WalCounters::default(),
             ring: EventRing::new(8),
             monitor: Monitor::default(),
         })
@@ -256,6 +284,7 @@ impl Obs {
             gauge: Gauges::default(),
             spans: SpanTotals::default(),
             pool: PoolCounters::default(),
+            wal: WalCounters::default(),
             ring: EventRing::new(ring_capacity),
             monitor: Monitor::default(),
         })
@@ -304,6 +333,7 @@ impl Obs {
         self.gauge.recovery.reset();
         self.spans.reset();
         self.pool.reset();
+        self.wal.reset();
         self.ring.reset();
     }
 

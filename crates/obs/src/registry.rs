@@ -356,6 +356,18 @@ pub fn register_obs(reg: &MetricsRegistry, obs: &ObsHandle) {
         "pool shard-mutex acquisitions that found the mutex held",
         move || o.pool.shard_contended.load(std::sync::atomic::Ordering::Relaxed),
     );
+    let o = obs.clone();
+    reg.register_counter(
+        "wal_group_batches",
+        "WAL group-flush batches (one write + optional fsync each)",
+        move || o.wal.group_batches.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    let o = obs.clone();
+    reg.register_counter(
+        "wal_group_riders",
+        "committers satisfied by a group flush they did not lead",
+        move || o.wal.group_riders.load(std::sync::atomic::Ordering::Relaxed),
+    );
 }
 
 /// Bridge every `ariesim-common` paper counter (locks acquired, page

@@ -49,6 +49,12 @@ enum Phase {
 struct TxnInner {
     last_lsn: Lsn,
     phase: Phase,
+    /// Whether any record was appended through the chain logger after
+    /// Begin (updates, CLRs, NTA dummies — anything a resource manager
+    /// logs). A transaction that never wrote is read-only: its commit
+    /// record carries no durability obligation and need not force the log
+    /// (the classic ARIES read-only commit optimization).
+    wrote: bool,
 }
 
 /// A live transaction. Handles are cheap to clone; one transaction is driven
@@ -74,8 +80,12 @@ impl TxnHandle {
         f: impl FnOnce(&mut ChainLogger<'_>) -> R,
     ) -> R {
         let mut g = self.inner.lock();
-        let mut logger = ChainLogger::new(log, self.id, g.last_lsn);
+        let prev = g.last_lsn;
+        let mut logger = ChainLogger::new(log, self.id, prev);
         let r = f(&mut logger);
+        if logger.last_lsn != prev {
+            g.wrote = true;
+        }
         g.last_lsn = logger.last_lsn;
         r
     }
@@ -205,6 +215,7 @@ impl TransactionManager {
             inner: Mutex::new(TxnInner {
                 last_lsn: Lsn::NULL,
                 phase: Phase::Active,
+                wrote: false,
             }),
         });
         let lsn = self
@@ -217,7 +228,11 @@ impl TransactionManager {
 
     /// Commit: write and **force** the commit record, release locks, write
     /// End. (The force is the only synchronous I/O a transaction requires —
-    /// the paper's §1 efficiency measure.)
+    /// the paper's §1 efficiency measure.) A read-only transaction — one
+    /// whose chain logger never appended after Begin — still writes its
+    /// control records but skips the force entirely: it changed nothing, so
+    /// losing its commit record in a crash is unobservable, and in a
+    /// read-mostly workload the elided waits dominate the commit path.
     pub fn commit(&self, txn: &TxnHandle) -> Result<()> {
         let op = self.pool.obs().timer();
         // Tag the commit window with the txn id so per-transaction
@@ -225,9 +240,12 @@ impl TransactionManager {
         // lock-release components.
         let _span = self.pool.obs().span(SpanKind::UserWork, txn.id.0, 0);
         txn.check_active()?;
+        let wrote = txn.inner.lock().wrote;
         let commit_lsn = txn.with_logger(&self.log, |l| l.control(RecordKind::Commit));
         crash_point!("txn.commit.logged");
-        self.log.flush_to(commit_lsn)?;
+        if wrote {
+            self.log.flush_to(commit_lsn)?;
+        }
         crash_point!("txn.commit.forced");
         self.locks.release_all(txn.id);
         self.run_end_hooks(txn.id);

@@ -1,11 +1,43 @@
 //! The log manager.
 //!
-//! Owns the log's durability boundary. Appends go into an in-memory tail
-//! buffer; [`LogManager::flush_to`] makes everything up to (at least) a given
-//! LSN durable — the operation the WAL protocol and commit processing force.
+//! Owns the log's durability boundary, as a two-stage pipeline:
+//!
+//! 1. **Lock-free append.** An appender claims its (LSN, byte-range) with a
+//!    single `fetch_add` into the in-memory segment ring ([`crate::buffer`]),
+//!    copies its pre-encoded frame into the reserved slice without any lock,
+//!    and publishes completion via the ring's per-segment filled counters.
+//!    The old design serialized every append (and its memcpy) behind one
+//!    mutex; now the only shared-section work per append is two atomic RMWs.
+//!
+//! 2. **Group flush.** [`LogManager::flush_to`] makes everything up to (at
+//!    least) a given LSN durable — the operation the WAL protocol and commit
+//!    processing force. A drain step moves the ring's fully *published*
+//!    prefix into the durable image (spinning to a stable watermark across
+//!    torn multi-segment reservations, and advancing a frame-aligned
+//!    boundary so no torn frame is ever written), then one `write_all` +
+//!    optional fsync covers every waiter whose LSN rode along. Two modes:
+//!
+//!    * **leader-based** (default): the first committer to win `try_lock`
+//!      flushes for everyone queued on the commit barrier; losers spin
+//!      briefly on the durable mirror, then park on a futex-style
+//!      [`Parker`] and re-elect on timeout, so no dedicated thread is
+//!      needed;
+//!    * **dedicated flusher** (`LogOptions::flusher`): an adaptive batch
+//!      window. While commits arrive one at a time, the committer flushes
+//!      inline immediately — an empty queue never waits. While commits
+//!      overlap, committers enqueue on the commit barrier and park with no
+//!      timeout; the `wal-flusher` thread flushes the whole queue in one
+//!      write. On multicore the batch is whatever enqueued while the
+//!      previous flush was in flight (the write itself is the coalescing
+//!      window); on a single core — where commits arrive strictly
+//!      serialized and could never overlap a microsecond write — the
+//!      flusher coalesces a non-filled batch with one bounded nap, which
+//!      doubles as the probe that detects when commits stop overlapping.
+//!
 //! A crash loses exactly the unflushed tail, which is what the crash tests
 //! rely on: dropping the manager without flushing and reopening the file
-//! reproduces the post-crash stable state.
+//! reproduces the post-crash stable state (the flusher thread is joined
+//! without flushing on drop for the same reason).
 //!
 //! The manager also keeps the whole durable log memory-resident. At the
 //! scale of this reproduction (logs of at most a few hundred MB) this is a
@@ -13,56 +45,192 @@
 //! during rollback and restart hit the same byte image they would read from
 //! disk.
 
+use crate::buffer::LogBuffer;
 use crate::frame::{self, FrameRead, FIRST_LSN, LOG_MAGIC};
 use crate::record::{LogRecord, RecordKind};
 use ariesim_common::stats::{Bump, StatsHandle};
 use ariesim_fault::crash_point;
 use ariesim_obs::{EventKind, ModeTag, Obs, ObsHandle, SpanKind};
 use ariesim_common::{Error, Lsn, Result};
-use parking_lot::Mutex;
+use parking_lot::{sched, Mutex, Parker};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-// The durable-LSN mirror is a model-checkable facade atomic: its protocol
-// against concurrent appenders/flushers is covered by `crates/model`'s WAL
-// harness.
+use std::sync::Arc;
+use std::time::Duration;
+// The durable-LSN mirror and the ring watermarks are model-checkable facade
+// atomics: their protocol against concurrent appenders/flushers is covered
+// by `crates/model`'s WAL harnesses.
 use ariesim_common::msync::AtomicU64;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64 as PlainAtomicU64, Ordering};
 
 /// Tuning and durability options.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct LogOptions {
     /// Call `sync_data` after each flush. Off by default: the tests simulate
     /// crashes at the process level, where "written to the file" is durable.
     pub fsync: bool,
+    /// Run a dedicated flusher thread; committers never do log I/O
+    /// themselves. Off by default: the leader-based mode needs no extra
+    /// thread and is what the deterministic model checker runs (a real
+    /// thread outside the controller's view would break the schedule).
+    pub flusher: bool,
+    /// Number of ring segments (power of two).
+    pub ring_segments: u64,
+    /// Bytes per ring segment (power of two). Total ring capacity bounds
+    /// the largest single record.
+    pub ring_segment_bytes: u64,
+}
+
+impl Default for LogOptions {
+    fn default() -> LogOptions {
+        LogOptions {
+            fsync: false,
+            flusher: false,
+            ring_segments: 16,
+            ring_segment_bytes: 64 << 10,
+        }
+    }
+}
+
+/// How long a leader-mode rider parks before re-trying the leader election
+/// (the leader may have exited between flushing and this rider's enqueue).
+const RIDER_RETRY: Duration = Duration::from_micros(100);
+
+/// Bounded busy-poll before parking, on both sides of the group-commit
+/// handoff. On fast storage a whole batch completes in a few microseconds —
+/// less than a park/unpark round trip — so riders poll the durable mirror
+/// and the idle flusher polls the barrier this many times first.
+const SPIN_POLLS: u32 = 500;
+
+/// Queue depth that ends a coalescing nap early: once this many committers
+/// wait on the barrier the batch is worth flushing without running out the
+/// clock. See [`COALESCE_NAP`].
+const GROUP_FILL: usize = 8;
+
+/// Upper bound of the single-core adaptive batch window. On one CPU,
+/// commits arrive strictly serialized, so a batch can only form while the
+/// flusher yields the CPU and lets committers run up to their commit
+/// points; the window normally closes itself the moment the barrier stops
+/// growing across a yield, and this bound caps it in case yields keep
+/// returning immediately. Multicore machines skip the window entirely —
+/// there, batches form naturally from committers that enqueue while a
+/// flush is in flight.
+const COALESCE_NAP: Duration = Duration::from_micros(250);
+
+/// In the solo regime, every `SOLO_PROBE_PERIOD`-th commit enqueues on the
+/// barrier instead of flushing inline — a deterministic concurrency probe.
+/// On a single CPU, overlapping commits still execute strictly one after
+/// another, so the inline `try_lock` below almost never collides and cannot
+/// be the only promotion signal: a probe that gets woken by *another
+/// committer's* inline flush proves concurrency, and that flush promotes
+/// the regime (see the `woken > 0` check in [`LogManager::flusher_wait`]).
+/// A genuinely single-threaded workload pays one flusher handoff per
+/// period (the batch window closes as soon as the prober parks); a
+/// concurrent one is promoted within one period of the first probe.
+const SOLO_PROBE_PERIOD: u64 = 256;
+
+/// Whether this machine has a single CPU. Busy-spinning is strictly
+/// counterproductive there (a spinner only delays the very thread it waits
+/// for) and batches cannot form without the flusher yielding the CPU, so
+/// both the spin-poll counts and the coalescing nap key off this.
+fn single_core() -> bool {
+    static ONE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ONE.get_or_init(|| std::thread::available_parallelism().map_or(true, |n| n.get() == 1))
+}
+
+/// [`SPIN_POLLS`], but zero on a single-CPU machine (see [`single_core`])
+/// and zero under the model checker (each poll is a schedule point;
+/// hundreds per commit would blow up the explored tree without adding
+/// interleavings — the park that follows is already a schedule point).
+fn spin_polls() -> u32 {
+    if sched::thread_armed() || single_core() {
+        return 0;
+    }
+    SPIN_POLLS
 }
 
 struct Inner {
     file: File,
-    /// Complete log image, magic included: `image[0..durable_end]` mirrors
-    /// the file; `image[durable_end..]` is the unflushed tail.
+    /// Complete drained log image, magic included: `image[0..durable_end]`
+    /// mirrors the file; `image[durable_end..]` is the unflushed tail.
+    /// Bytes still in the ring (published or in-flight) are *not* here yet.
     image: Vec<u8>,
-    /// Everything below this offset is stable.
+    /// Everything below this offset is stable. Always frame-aligned.
     durable_end: Lsn,
-    /// LSN the next appended record will get (= image.len()).
+    /// Drained watermark (= image.len() = the ring's `drained`).
     tail: Lsn,
-    /// LSN of the most recently appended record.
-    last_lsn: Lsn,
+    /// Largest frame boundary ≤ `tail`. A multi-segment frame can drain in
+    /// pieces, so `tail` may rest mid-frame; flushing past `aligned` would
+    /// write a torn frame and falsely ack durability for it.
+    aligned: Lsn,
 }
 
-/// The write-ahead log manager. Thread-safe; all methods take `&self`.
-pub struct LogManager {
+/// One committer waiting on the barrier: its LSN and how to wake it.
+type Waiter = (u64, Arc<Parker>);
+
+/// The commit barrier: committers whose LSN is not yet durable enqueue
+/// here; whoever flushes (leader or flusher thread) wakes the satisfied.
+#[derive(Default)]
+struct Barrier {
+    q: Mutex<Vec<Waiter>>,
+    /// Wakes the dedicated flusher thread (flusher mode only).
+    flusher: Parker,
+}
+
+/// State shared between committer threads and the optional flusher thread.
+struct Shared {
     inner: Mutex<Inner>,
+    /// The lock-free append ring.
+    buf: LogBuffer,
     /// Mirror of `Inner::durable_end`, updated under the inner lock but
     /// readable without it: the fast path of [`LogManager::flush_to`] (and
     /// [`LogManager::flushed_lsn`]) must not serialize behind an in-flight
     /// flush when the requested LSN is already durable — the WAL-rule check
     /// on every page write-back hits this path constantly.
     flushed: AtomicU64,
+    /// LSN of the most recently appended record (largest start LSN);
+    /// `Lsn::NULL` (0) if the log is empty, so `fetch_max` is sound.
+    last_lsn: PlainAtomicU64,
+    barrier: Barrier,
+    /// Set by `Drop`; tells the flusher thread to exit *without* flushing
+    /// (a drop is a simulated crash: the unflushed tail must be lost).
+    shutdown: AtomicBool,
+    /// Latched by the flusher thread on an I/O error; parked committers
+    /// check it so the error propagates instead of hanging them.
+    failed: AtomicBool,
+    /// Flusher-mode regime hint: true while commits overlap (batches are
+    /// forming), false while they arrive one at a time. Solo committers
+    /// flush inline instead of paying two thread handoffs per commit; the
+    /// flusher demotes after a streak of single-rider batches, and an
+    /// inline flush that finds a parked rider (or a `try_lock` collision,
+    /// or a periodic probe — see [`SOLO_PROBE_PERIOD`]) promotes. Starts
+    /// true so a burst-from-the-start workload batches immediately and a
+    /// solo workload pays a few naps to discover it is alone.
+    regime_busy: AtomicBool,
+    /// Count of solo-regime inline flushes, for the periodic concurrency
+    /// probe ([`SOLO_PROBE_PERIOD`]). Plain (not model-instrumented): a
+    /// scheduling heuristic, never a correctness carrier.
+    solo_flushes: PlainAtomicU64,
+    flusher_err: std::sync::Mutex<Option<String>>,
     master_path: PathBuf,
     opts: LogOptions,
     stats: StatsHandle,
     obs: ObsHandle,
+}
+
+/// The write-ahead log manager. Thread-safe; all methods take `&self`.
+pub struct LogManager {
+    sh: Arc<Shared>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+}
+
+thread_local! {
+    /// Per-thread parker reused across `flush_to` calls (a thread waits on
+    /// at most one flush at a time). A stale wakeup from a previous round
+    /// only makes the next park return early; every wait loops on its
+    /// predicate, so that is harmless.
+    static PARKER: Arc<Parker> = Arc::new(Parker::new());
 }
 
 impl LogManager {
@@ -113,132 +281,164 @@ impl LogManager {
         }
         file.set_len(raw.len() as u64)?;
         let end = Lsn(raw.len() as u64);
-        Ok(LogManager {
+        let sh = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 file,
                 image: raw,
                 durable_end: end,
                 tail: end,
-                last_lsn,
+                aligned: end,
             }),
+            buf: LogBuffer::new(end.0, opts.ring_segment_bytes, opts.ring_segments),
             flushed: AtomicU64::new(end.0),
+            last_lsn: PlainAtomicU64::new(last_lsn.0),
+            barrier: Barrier::default(),
+            shutdown: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
+            regime_busy: AtomicBool::new(true),
+            solo_flushes: PlainAtomicU64::new(0),
+            flusher_err: std::sync::Mutex::new(None),
             master_path: path.with_extension("master"),
             opts,
             stats,
             obs,
-        })
+        });
+        let flusher = if sh.opts.flusher {
+            let s = Arc::clone(&sh);
+            Some(
+                std::thread::Builder::new()
+                    .name("wal-flusher".into())
+                    .spawn(move || Shared::flusher_main(&s))
+                    .map_err(|e| Error::Internal(format!("spawn wal-flusher: {e}")))?,
+            )
+        } else {
+            None
+        };
+        Ok(LogManager { sh, flusher })
     }
 
     /// Append a record (buffered, not yet durable). Returns its LSN.
+    ///
+    /// Lock-free: encoding and checksumming happen fully outside any shared
+    /// section, the (LSN, range) claim is one `fetch_add`, and the frame
+    /// copy goes straight into the reserved ring slice.
     pub fn append(&self, rec: &LogRecord) -> Lsn {
-        let _span = self.obs.span(SpanKind::WalAppend, rec.txn.0, 0);
+        let sh = &*self.sh;
+        let _span = sh.obs.span(SpanKind::WalAppend, rec.txn.0, 0);
         let body = rec.encode();
+        let len = frame::frame_len(body.len());
         let framed = frame::encode_frame(&body);
-        let mut g = self.inner.lock();
-        let lsn = g.tail;
-        g.image.extend_from_slice(&framed);
-        g.tail = Lsn(g.image.len() as u64);
-        g.last_lsn = lsn;
+        // The reservation is taken for `frame_len` bytes and the copy is of
+        // the encoded frame; they must agree exactly or the log would have
+        // a permanent hole or overlap at this LSN.
+        assert_eq!(framed.len() as u64, len, "reserved length != framed length");
+        assert!(
+            len <= sh.buf.max_reservation(),
+            "log record ({len} bytes) exceeds the ring's largest reservation ({}); raise LogOptions::ring_*",
+            sh.buf.max_reservation()
+        );
+        let start = sh.buf.reserve(len);
+        crash_point!("wal.group.reserve");
+        // Backpressure: wait for the range `cap` below to be drained. Help
+        // drain instead of only spinning, so a quiescent flusher (or no
+        // flusher at all) cannot deadlock an appender against a full ring.
+        while !sh.buf.has_space(start + len) {
+            if let Some(mut g) = sh.inner.try_lock() {
+                sh.drain_locked(&mut g);
+            }
+            ariesim_common::yield_point!();
+        }
+        sh.buf.copy_in(start, &framed);
+        sh.buf.publish(start, len);
         crash_point!("wal.append.tail");
-        self.stats.log_records.bump();
-        self.stats.log_bytes.add(framed.len() as u64);
+        // ordering: Relaxed — monotone register, no payload to publish (the
+        // record bytes are published by the ring's Release in `publish`).
+        sh.last_lsn.fetch_max(start, Ordering::Relaxed);
+        sh.stats.log_records.bump();
+        sh.stats.log_bytes.add(len);
         // CLRs (including the dummy CLRs ending nested top actions) are the
         // trace hooks for rollback progress; every write site funnels here.
         if matches!(rec.kind, RecordKind::Clr | RecordKind::DummyClr) {
-            self.obs
-                .event(EventKind::ClrWrite, ModeTag::None, rec.txn.0, 0, lsn.0);
+            sh.obs
+                .event(EventKind::ClrWrite, ModeTag::None, rec.txn.0, 0, start);
         }
-        lsn
+        crash_point!("wal.group.publish");
+        Lsn(start)
     }
 
-    /// Make every record with LSN ≤ `lsn` durable. Group-flushes the whole
-    /// tail (later records ride along, as in real group commit).
+    /// Make every record with LSN ≤ `lsn` durable. Group commit: one flush
+    /// covers every committer whose LSN rode along.
     pub fn flush_to(&self, lsn: Lsn) -> Result<()> {
         // Fast path: already durable. Must not take the inner lock, or every
         // WAL-rule check during page write-back would serialize behind an
         // in-flight group flush. `flushed` only ever grows, so a stale read
-        // is safe — we just fall through to the locked path.
-        if lsn.0 < self.flushed.load(Ordering::Acquire) { // ordering: pairs with the Release store after fsync
+        // is safe — we just fall through to the slow path.
+        // ordering: Acquire pairs with the Release store after fsync
+        if lsn.0 < self.sh.flushed.load(Ordering::Acquire) {
             return Ok(());
         }
-        let mut g = self.inner.lock();
-        if lsn < g.durable_end {
-            return Ok(());
+        if self.sh.opts.flusher {
+            self.sh.flusher_wait(lsn)
+        } else {
+            self.sh.group_wait(lsn)
         }
-        self.flush_locked(&mut g)
     }
 
-    /// Make the entire log durable.
+    /// Make the entire published log durable. (A reservation still being
+    /// copied by a concurrent appender does not ride along — this drains
+    /// the published prefix, never spins for in-flight appends.)
     pub fn flush_all(&self) -> Result<()> {
-        let mut g = self.inner.lock();
-        if g.durable_end == g.tail {
-            return Ok(());
-        }
-        self.flush_locked(&mut g)
-    }
-
-    fn flush_locked(&self, g: &mut Inner) -> Result<()> {
-        let from = g.durable_end.0 as usize;
-        let to = g.tail.0 as usize;
-        if from == to {
-            return Ok(());
-        }
-        let force = self.obs.timer();
-        let _span = self.obs.span(SpanKind::WalFsync, 0, 0);
-        crash_point!("wal.flush.begin");
-        g.file.seek(SeekFrom::Start(from as u64))?;
-        let slice: Vec<u8> = g.image[from..to].to_vec();
-        // Two writes with a crash point between them: crashing at
-        // "wal.flush.mid" leaves a genuinely torn tail (first half of the
-        // slice on disk, durable_end not advanced) for the torn-tail scan.
-        let half = slice.len() / 2;
-        g.file.write_all(&slice[..half])?;
-        crash_point!("wal.flush.mid");
-        g.file.write_all(&slice[half..])?;
-        if self.opts.fsync {
-            g.file.sync_data()?;
-        }
-        crash_point!("wal.flush.end");
-        g.durable_end = g.tail;
-        // ordering: Release publishes the fsync'd prefix; Acquire readers of `flushed` may then skip the lock
-        self.flushed.store(g.durable_end.0, Ordering::Release);
-        self.stats.log_forces.bump();
-        self.obs.hist.log_force.record_since(force);
-        self.obs.event(
-            EventKind::LogForce,
-            ModeTag::None,
-            0,
-            0,
-            (to - from) as u64,
-        );
-        Ok(())
+        let sh = &*self.sh;
+        let mut g = sh.inner.lock();
+        while sh.drain_locked(&mut g) {}
+        sh.flush_locked(&mut g)
     }
 
     /// LSN below which everything is stable.
     pub fn flushed_lsn(&self) -> Lsn {
-        Lsn(self.flushed.load(Ordering::Acquire)) // ordering: pairs with the Release store after fsync
+        // ordering: Acquire pairs with the Release store after fsync
+        Lsn(self.sh.flushed.load(Ordering::Acquire))
+    }
+
+    /// Largest LSN such that every byte below it is published in the ring
+    /// (or already drained). Exposed for the model harnesses: the durable
+    /// mirror must never read ahead of this watermark.
+    pub fn published_lsn(&self) -> Lsn {
+        Lsn(self.sh.buf.published())
     }
 
     /// LSN of the most recently appended record; NULL if the log is empty.
     pub fn last_lsn(&self) -> Lsn {
-        self.inner.lock().last_lsn
+        // ordering: Relaxed — monotone register (see the store in `append`)
+        Lsn(self.sh.last_lsn.load(Ordering::Relaxed))
     }
 
-    /// LSN the next append will receive.
+    /// LSN the next append will receive (the ring's reservation watermark).
     pub fn next_lsn(&self) -> Lsn {
-        self.inner.lock().tail
+        Lsn(self.sh.buf.reserved())
     }
 
     /// Read and decode the record at `lsn` (flushed or still buffered —
     /// rollback during normal processing reads records that may not yet be
-    /// durable).
+    /// durable). A record still in the ring is drained into the image first.
     pub fn read(&self, lsn: Lsn) -> Result<LogRecord> {
-        let g = self.inner.lock();
-        if lsn.is_null() || lsn < FIRST_LSN || lsn >= g.tail {
+        let sh = &*self.sh;
+        let end = sh.buf.reserved();
+        if lsn.is_null() || lsn < FIRST_LSN || lsn.0 >= end {
             return Err(Error::CorruptLog {
                 lsn,
-                reason: format!("lsn out of range (log ends at {})", g.tail),
+                reason: format!("lsn out of range (log ends at {})", Lsn(end)),
             });
+        }
+        let mut g = sh.inner.lock();
+        // Spin-to-stable: the frame at `lsn` may still be mid-publish by a
+        // concurrent appender (which needs no lock to finish).
+        while g.aligned <= lsn {
+            let progressed = sh.drain_locked(&mut g);
+            if !progressed && g.tail.0 == sh.buf.reserved() {
+                break; // stable: nothing unpublished remains
+            }
+            ariesim_common::yield_point!();
         }
         match frame::read_frame(&g.image, lsn)? {
             FrameRead::Ok { body, .. } => LogRecord::decode(lsn, body),
@@ -270,13 +470,13 @@ impl LogManager {
     /// record. Written atomically via rename.
     pub fn write_master(&self, ckpt_lsn: Lsn) -> Result<()> {
         crash_point!("wal.master.before");
-        let tmp = self.master_path.with_extension("master.tmp");
+        let tmp = self.sh.master_path.with_extension("master.tmp");
         let mut body = ckpt_lsn.0.to_le_bytes().to_vec();
         let crc = ariesim_common::codec::crc32c(&body);
         body.extend_from_slice(&crc.to_le_bytes());
         std::fs::write(&tmp, &body)?;
         crash_point!("wal.master.tmp_written");
-        std::fs::rename(&tmp, &self.master_path)?;
+        std::fs::rename(&tmp, &self.sh.master_path)?;
         crash_point!("wal.master.after");
         Ok(())
     }
@@ -292,7 +492,7 @@ impl LogManager {
     /// frames never ship: only log the primary cannot lose may reach a
     /// standby.
     pub fn read_durable_chunk(&self, from: Lsn, max_bytes: usize) -> Result<(Vec<u8>, Lsn)> {
-        let g = self.inner.lock();
+        let g = self.sh.inner.lock();
         let from = if from.is_null() { FIRST_LSN } else { from };
         if from < FIRST_LSN || from > g.durable_end {
             return Err(Error::CorruptLog {
@@ -323,7 +523,9 @@ impl LogManager {
     /// through to the file immediately: shipped log was already durable on
     /// the primary, and the standby must not apply records it could lose.
     pub fn ingest_frames(&self, at: Lsn, chunk: &[u8]) -> Result<()> {
-        let mut g = self.inner.lock();
+        let sh = &*self.sh;
+        let mut g = sh.inner.lock();
+        while sh.drain_locked(&mut g) {}
         if g.durable_end != g.tail {
             return Err(Error::Internal(
                 "ingest_frames on a log with a buffered append tail".into(),
@@ -356,6 +558,15 @@ impl LogManager {
                 }
             }
         }
+        // Claim the chunk's LSN range in the ring so append LSNs stay
+        // consistent. A plain store would race a concurrent appender's
+        // fetch-add; the CAS fails instead and preserves the old contract
+        // ("no buffered append tail during ingest").
+        if !sh.buf.try_reserve_at(at.0, chunk.len() as u64) {
+            return Err(Error::Internal(
+                "ingest_frames raced a concurrent append".into(),
+            ));
+        }
         // Write-through, with a crash point splitting the write so the
         // torture harness can leave a genuinely torn standby tail.
         g.file.seek(SeekFrom::Start(at.0))?;
@@ -363,23 +574,29 @@ impl LogManager {
         g.file.write_all(&chunk[..half])?;
         crash_point!("wal.ingest.mid");
         g.file.write_all(&chunk[half..])?;
-        if self.opts.fsync {
+        if sh.opts.fsync {
             g.file.sync_data()?;
         }
         g.image.extend_from_slice(chunk);
         g.tail = Lsn(g.image.len() as u64);
         g.durable_end = g.tail;
-        g.last_lsn = last;
+        g.aligned = g.tail;
+        // The bytes bypassed the ring's slab; account for them so later
+        // ring appends still publish and drain cleanly.
+        sh.buf.skip(at.0, chunk.len() as u64);
+        sh.buf.mark_drained(g.tail.0);
+        // ordering: Relaxed — monotone register (see `append`)
+        sh.last_lsn.fetch_max(last.0, Ordering::Relaxed);
         // ordering: Release publishes the fsync'd prefix; Acquire readers of `flushed` may then skip the lock
-        self.flushed.store(g.durable_end.0, Ordering::Release);
-        self.stats.log_records.add(frames);
-        self.stats.log_bytes.add(chunk.len() as u64);
+        sh.flushed.store(g.durable_end.0, Ordering::Release);
+        sh.stats.log_records.add(frames);
+        sh.stats.log_bytes.add(chunk.len() as u64);
         Ok(())
     }
 
     /// Read the master record; NULL if none has ever been written.
     pub fn read_master(&self) -> Result<Lsn> {
-        let raw = match std::fs::read(&self.master_path) {
+        let raw = match std::fs::read(&self.sh.master_path) {
             Ok(r) => r,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Lsn::NULL),
             Err(e) => return Err(e.into()),
@@ -402,6 +619,449 @@ impl LogManager {
     }
 }
 
+impl Drop for LogManager {
+    fn drop(&mut self) {
+        if let Some(h) = self.flusher.take() {
+            // ordering: Release so the flusher's Acquire load sees the flag;
+            // the unpark below also fences, but be explicit.
+            self.sh.shutdown.store(true, Ordering::Release);
+            self.sh.barrier.flusher.unpark();
+            // Deliberately no final flush: dropping the manager simulates a
+            // crash, and a crash loses exactly the unflushed tail.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Shared {
+    /// Copy the ring's published prefix into the image and advance the
+    /// drain + frame-aligned watermarks. Returns whether bytes moved.
+    /// Caller holds the inner lock (there is exactly one drainer at a time).
+    fn drain_locked(&self, g: &mut Inner) -> bool {
+        let from = g.tail.0;
+        let to = self.buf.published_to(from);
+        if to == from {
+            return false;
+        }
+        self.buf.copy_out(from, to, &mut g.image);
+        g.tail = Lsn(to);
+        self.buf.mark_drained(to);
+        // Advance the frame-boundary watermark with a cheap length-header
+        // walk (no CRC — these bytes were published by a successful append).
+        // Flushing past a frame boundary would write a torn frame, and a
+        // crash right after would falsely ack durability for it.
+        let mut at = g.aligned.0 as usize;
+        loop {
+            if at + frame::FRAME_HEADER_LEN > g.image.len() {
+                break;
+            }
+            let len = ariesim_common::codec::u32_at(&g.image, at) as usize;
+            debug_assert!(len > 0, "zero-length frame in drained log at {at}");
+            let next = at + frame::FRAME_HEADER_LEN + len;
+            if next > g.image.len() {
+                break;
+            }
+            at = next;
+        }
+        g.aligned = Lsn(at as u64);
+        true
+    }
+
+    /// Drain until the frame containing `lsn` is wholly in the image
+    /// (`aligned > lsn`, which alignment makes equivalent to "the frame at
+    /// `lsn` is complete"), or the ring is stable with nothing unpublished.
+    /// Spin-to-stable: a reservation below `lsn` may still be mid-copy, and
+    /// its publisher needs no lock to finish, so spinning here is live.
+    fn drain_until(&self, g: &mut Inner, lsn: Lsn) {
+        loop {
+            self.drain_locked(g);
+            if g.aligned > lsn || g.tail.0 == self.buf.reserved() {
+                return;
+            }
+            ariesim_common::yield_point!();
+        }
+    }
+
+    /// One group flush: drain up to `target`, then write + (optionally)
+    /// fsync the whole unflushed aligned prefix.
+    fn group_flush(&self, g: &mut Inner, target: Lsn) -> Result<()> {
+        self.drain_until(g, target);
+        // Window: reservation published and drained, but nothing durable.
+        crash_point!("wal.group.flush_mid");
+        self.flush_locked(g)?;
+        crash_point!("wal.group.flush_done");
+        Ok(())
+    }
+
+    fn flush_locked(&self, g: &mut Inner) -> Result<()> {
+        let from = g.durable_end.0 as usize;
+        let to = g.aligned.0 as usize;
+        if from == to {
+            return Ok(());
+        }
+        let force = self.obs.timer();
+        let _span = self.obs.span(SpanKind::WalFsync, 0, 0);
+        crash_point!("wal.flush.begin");
+        g.file.seek(SeekFrom::Start(from as u64))?;
+        let slice: Vec<u8> = g.image[from..to].to_vec();
+        // Two writes with a crash point between them: crashing at
+        // "wal.flush.mid" leaves a genuinely torn tail (first half of the
+        // slice on disk, durable_end not advanced) for the torn-tail scan.
+        let half = slice.len() / 2;
+        g.file.write_all(&slice[..half])?;
+        crash_point!("wal.flush.mid");
+        g.file.write_all(&slice[half..])?;
+        if self.opts.fsync {
+            g.file.sync_data()?;
+        }
+        crash_point!("wal.flush.end");
+        g.durable_end = g.aligned;
+        // ordering: Release publishes the fsync'd prefix; Acquire readers of `flushed` may then skip the lock
+        self.flushed.store(g.durable_end.0, Ordering::Release);
+        self.stats.log_forces.bump();
+        self.obs.hist.log_force.record_since(force);
+        self.obs.event(
+            EventKind::LogForce,
+            ModeTag::None,
+            0,
+            0,
+            (to - from) as u64,
+        );
+        Ok(())
+    }
+
+    /// Largest LSN currently enqueued on the barrier, if any.
+    fn barrier_max(&self) -> Option<u64> {
+        self.barrier.q.lock().iter().map(|(l, _)| *l).max()
+    }
+
+    /// Wake every waiter whose LSN is durable now; returns how many.
+    fn wake_satisfied(&self) -> u64 {
+        // ordering: Acquire pairs with the Release store after fsync
+        let durable = self.flushed.load(Ordering::Acquire);
+        let mut woken = 0;
+        self.barrier.q.lock().retain(|(l, p)| {
+            if *l < durable {
+                p.unpark();
+                woken += 1;
+                false
+            } else {
+                true
+            }
+        });
+        woken
+    }
+
+    /// Record one flush batch that satisfied `satisfied` committers.
+    fn note_batch(&self, satisfied: u64) {
+        let n = satisfied.max(1);
+        // ordering: Relaxed — plain telemetry counter, no protocol role
+        self.obs.wal.group_batches.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — plain telemetry counter, no protocol role
+        self.obs.wal.group_riders.fetch_add(n - 1, Ordering::Relaxed);
+        if self.obs.on() {
+            // Batch *size* (a count, not nanoseconds) through the log2
+            // histogram machinery; see `Histograms::wal_group_batch`.
+            self.obs.hist.wal_group_batch.record_ns(n);
+        }
+    }
+
+    fn check_failed(&self) -> Result<()> {
+        // ordering: Acquire pairs with the Release in `fail`, so the error
+        // message write is visible once the flag is seen.
+        if self.failed.load(Ordering::Acquire) {
+            let msg = self
+                .flusher_err
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone()
+                .unwrap_or_else(|| "wal flusher failed".into());
+            return Err(Error::Internal(msg));
+        }
+        Ok(())
+    }
+
+    /// Latch a flusher-thread error and wake everyone so it propagates.
+    fn fail(&self, e: &Error) {
+        *self.flusher_err.lock().unwrap_or_else(|p| p.into_inner()) = Some(e.to_string());
+        // ordering: Release pairs with the Acquire in `check_failed`
+        self.failed.store(true, Ordering::Release);
+        for (_, p) in self.barrier.q.lock().drain(..) {
+            p.unpark();
+        }
+    }
+
+    /// Slow path of [`LogManager::flush_to`] in leader mode (no dedicated
+    /// flusher thread): group commit by leader election. Whoever finds the
+    /// inner lock free flushes the barrier maximum for everyone queued;
+    /// everyone else polls the durable mirror for about one batch's
+    /// duration, then parks and re-elects on timeout so a vanished leader
+    /// can never strand a rider.
+    fn group_wait(&self, lsn: Lsn) -> Result<()> {
+        let polls = spin_polls();
+        let mut registered = false;
+        loop {
+            // ordering: Acquire pairs with the Release store after fsync
+            if lsn.0 < self.flushed.load(Ordering::Acquire) {
+                // A satisfied entry left on the barrier is dropped (and
+                // this thread's parker token set) by a later wake pass;
+                // park loops re-check their predicate, so that's harmless.
+                return Ok(());
+            }
+            self.check_failed()?;
+            if let Some(mut g) = self.inner.try_lock() {
+                let target = Lsn(self.barrier_max().map_or(lsn.0, |m| m.max(lsn.0)));
+                self.group_flush(&mut g, target)?;
+                drop(g);
+                let woken = self.wake_satisfied();
+                // A leader that had already enqueued as a rider was counted
+                // (and unparked) by its own wake pass.
+                self.note_batch(if registered { woken.max(1) } else { woken + 1 });
+                // ordering: Acquire pairs with the Release store after fsync
+                let durable = self.flushed.load(Ordering::Acquire);
+                if lsn.0 >= durable && durable == self.buf.reserved() {
+                    // `lsn` lies beyond everything ever appended; the whole
+                    // log is durable, which is all a flush can promise.
+                    return Ok(());
+                }
+            } else {
+                if !registered {
+                    PARKER.with(|p| self.barrier.q.lock().push((lsn.0, Arc::clone(p))));
+                    registered = true;
+                }
+                // A flush is in flight and its batch may already cover this
+                // LSN: poll the mirror for about its duration — cheaper
+                // than a park/unpark round trip — before sleeping.
+                let mut rode = false;
+                for _ in 0..polls {
+                    // ordering: Acquire pairs with the Release store after fsync
+                    if lsn.0 < self.flushed.load(Ordering::Acquire) {
+                        rode = true;
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                if !rode {
+                    PARKER.with(|p| p.park_timeout(RIDER_RETRY));
+                }
+            }
+        }
+    }
+
+    /// Slow path of [`LogManager::flush_to`] in flusher mode: adaptive
+    /// batch window. While commits arrive one at a time (`regime_busy`
+    /// false — the queue was empty) there is no batch to join, so the
+    /// committer flushes inline immediately, exactly like a leader-mode
+    /// leader. While commits overlap, it enqueues on the barrier, hands
+    /// off to the dedicated flusher, and parks with no timeout — the
+    /// flusher (or `fail`) is the guaranteed waker, and a timed retry
+    /// would put this thread back on the run queue where it only delays
+    /// the batch it is waiting for.
+    fn flusher_wait(&self, lsn: Lsn) -> Result<()> {
+        // Clamp an over-the-end LSN (e.g. `flush_to(Lsn::MAX)`) to the last
+        // appended byte: waiting for the mirror to pass that is exactly the
+        // "whole log durable" promise, and it keeps the rider wake rule
+        // (`waiter < durable`) sufficient on its own.
+        let lsn = Lsn(lsn.0.min(self.buf.reserved().saturating_sub(1)));
+        // ordering: Relaxed — scheduling regime hint only; durability is
+        // carried by `flushed` and the inner lock, never by this flag.
+        if !self.regime_busy.load(Ordering::Relaxed) {
+            // ordering: Relaxed — heuristic probe counter, no data guarded
+            let probe = self.solo_flushes.fetch_add(1, Ordering::Relaxed) % SOLO_PROBE_PERIOD
+                == SOLO_PROBE_PERIOD - 1;
+            if !probe {
+                if let Some(mut g) = self.inner.try_lock() {
+                    let target = Lsn(self.barrier_max().map_or(lsn.0, |m| m.max(lsn.0)));
+                    self.group_flush(&mut g, target)?;
+                    drop(g);
+                    let woken = self.wake_satisfied();
+                    self.note_batch(woken + 1);
+                    if woken > 0 {
+                        // Someone was parked on the barrier while we flushed
+                        // inline — a probe, or a leftover rider: commits
+                        // overlap, batch from here on.
+                        // ordering: Relaxed — scheduling regime hint only
+                        self.regime_busy.store(true, Ordering::Relaxed);
+                    }
+                    return Ok(());
+                }
+                // The lock being held means another commit's flush is in
+                // flight right now: commits overlap, so start batching.
+                // ordering: Relaxed — scheduling regime hint only
+                self.regime_busy.store(true, Ordering::Relaxed);
+            }
+            // A probe falls through to the rider path: if any other
+            // committer exists it will flush inline during our nap-bounded
+            // park, find us on the barrier, and promote the regime.
+        }
+        let polls = spin_polls();
+        let mut registered = false;
+        loop {
+            // ordering: Acquire pairs with the Release store after fsync
+            if lsn.0 < self.flushed.load(Ordering::Acquire) {
+                // A satisfied entry left on the barrier is dropped (and
+                // this thread's parker token set) by a later wake pass;
+                // park loops re-check their predicate, so that's harmless.
+                return Ok(());
+            }
+            self.check_failed()?;
+            if !registered {
+                PARKER.with(|p| {
+                    let mut q = self.barrier.q.lock();
+                    q.push((lsn.0, Arc::clone(p)));
+                    let n = q.len();
+                    drop(q);
+                    // First committer arms the flusher; a filled batch ends
+                    // its coalescing nap early. Intermediate arrivals stay
+                    // quiet so they don't cut the batch window short.
+                    if n == 1 || n >= GROUP_FILL {
+                        self.barrier.flusher.unpark();
+                    }
+                });
+                registered = true;
+                // Re-check the mirror and the failure latch before parking:
+                // if `fail` drained the queue between our push and here, it
+                // also set our token, so the next park cannot hang.
+                continue;
+            }
+            let mut rode = false;
+            for _ in 0..polls {
+                // ordering: Acquire pairs with the Release store after fsync
+                if lsn.0 < self.flushed.load(Ordering::Acquire) {
+                    rode = true;
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            if rode {
+                return Ok(());
+            }
+            PARKER.with(|p| p.park());
+        }
+    }
+
+    /// Body of the dedicated `wal-flusher` thread. Adaptive batch window:
+    /// an empty queue parks until a committer arrives. On a single-core
+    /// machine a non-filled batch first gets one yield-until-stable window
+    /// (bounded by [`COALESCE_NAP`]) so serialized committers can run up
+    /// to their commit points and ride along; multicore machines skip the
+    /// window — committers that enqueue while a flush is in flight batch
+    /// naturally. The window doubles as the regime read-out: a streak of
+    /// windows that still collected only one committer proves commits are
+    /// not overlapping, and the system drops back to inline solo flushing
+    /// until commits collide again.
+    fn flusher_main(sh: &Arc<Shared>) {
+        // Whether the current batch already had its coalescing nap.
+        let mut napped = false;
+        // Consecutive napped batches that collected only one committer.
+        // Demotion to the solo regime needs several in a row: on one CPU
+        // the scheduler hands each thread a multi-millisecond slice, so
+        // even a busy system produces the occasional single-rider batch,
+        // and a premature demotion sticks (the solo regime's inline
+        // `try_lock` almost never collides on one CPU — re-promotion waits
+        // on the periodic probe).
+        let mut solo_streak = 0u32;
+        loop {
+            // ordering: Acquire pairs with the Release in `Drop`
+            if sh.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let (n, target) = {
+                let q = sh.barrier.q.lock();
+                (q.len(), q.iter().map(|(l, _)| *l).max())
+            };
+            let Some(target) = target else {
+                napped = false;
+                // Brief poll before parking: at commit rates worth a
+                // dedicated flusher, the next committer arrives within the
+                // cost of a park/unpark pair.
+                let mut armed = false;
+                for _ in 0..spin_polls() {
+                    // ordering: Acquire pairs with the Release in `Drop`
+                    if sh.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if sh.barrier.q.lock().is_empty() {
+                        std::hint::spin_loop();
+                    } else {
+                        armed = true;
+                        break;
+                    }
+                }
+                if !armed {
+                    sh.barrier.flusher.park();
+                }
+                continue;
+            };
+            if single_core() && !sched::thread_armed() && !napped && n < GROUP_FILL {
+                // Single-core batch window, timer-free: hand the CPU to the
+                // runnable committers (`yield_now`) and re-read the queue.
+                // On one CPU a yield lets every runnable thread advance to
+                // its commit point, so "no growth across a yield" means
+                // every in-flight committer is already on the barrier (the
+                // rest are parked, or lock-blocked behind a rider and
+                // unable to commit until this batch flushes) and waiting
+                // longer cannot grow the batch — it can only idle the CPU.
+                // A clock bound caps the window in case a yield keeps
+                // getting the CPU back immediately.
+                napped = true;
+                let window = std::time::Instant::now();
+                let mut prev_n = n;
+                loop {
+                    std::thread::yield_now();
+                    // ordering: Acquire pairs with the Release in `Drop`
+                    if sh.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let n = sh.barrier.q.lock().len();
+                    if n >= GROUP_FILL || n == prev_n || window.elapsed() >= COALESCE_NAP {
+                        break;
+                    }
+                    prev_n = n;
+                }
+                continue;
+            }
+            // ordering: Acquire pairs with the Release store after fsync
+            if target < sh.flushed.load(Ordering::Acquire) {
+                napped = false;
+                sh.wake_satisfied();
+                continue;
+            }
+            let res = {
+                let mut g = sh.inner.lock();
+                sh.group_flush(&mut g, Lsn(target))
+            };
+            match res {
+                Ok(()) => {
+                    let woken = sh.wake_satisfied();
+                    sh.note_batch(woken.max(1));
+                    if napped {
+                        // The nap doubles as the regime read-out: a batch
+                        // that collected ≥ 2 proves commits overlap; only a
+                        // streak of single-rider naps demotes to inline
+                        // solo flushing (see `solo_streak` above).
+                        if woken >= 2 {
+                            solo_streak = 0;
+                        } else {
+                            solo_streak += 1;
+                            if solo_streak >= 3 {
+                                // ordering: Relaxed — scheduling regime hint
+                                sh.regime_busy.store(false, Ordering::Relaxed);
+                                solo_streak = 0;
+                            }
+                        }
+                    }
+                    napped = false;
+                }
+                Err(e) => {
+                    sh.fail(&e);
+                    return;
+                }
+            }
+        }
+    }
+}
+
 /// Iterator over log records; see [`LogManager::scan`].
 pub struct LogIter<'a> {
     mgr: &'a LogManager,
@@ -419,7 +1079,11 @@ impl Iterator for LogIter<'_> {
     type Item = Result<LogRecord>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let g = self.mgr.inner.lock();
+        let sh = &*self.mgr.sh;
+        let mut g = sh.inner.lock();
+        if self.at >= g.aligned {
+            sh.drain_locked(&mut g);
+        }
         if self.at >= g.tail {
             return None;
         }
@@ -531,7 +1195,7 @@ mod tests {
         m.flush_to(l1).unwrap();
         // Simulate an in-flight flush by holding the inner lock; a flush_to
         // for an already-durable LSN must return without acquiring it.
-        let _held = m.inner.lock();
+        let _held = m.sh.inner.lock();
         let (tx, rx) = std::sync::mpsc::channel();
         std::thread::scope(|s| {
             s.spawn(|| {
@@ -734,5 +1398,47 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), 400);
         assert_eq!(m.scan(Lsn::NULL).count(), 400);
+    }
+
+    #[test]
+    fn tiny_ring_wraps_and_backpressures() {
+        let dir = TempDir::new("wal");
+        // 2 segments × 64 bytes (62-byte frames, just under the one-segment
+        // reservation cap): every frame wraps, and sustained appends
+        // exercise the has_space help-drain path.
+        let opts = LogOptions {
+            ring_segments: 2,
+            ring_segment_bytes: 64,
+            ..LogOptions::default()
+        };
+        let m = LogManager::open(&dir.file("wal"), opts, new_stats()).unwrap();
+        let mut prev = Lsn::NULL;
+        for i in 0..50u8 {
+            prev = m.append(&upd(1, prev, &[i; 24]));
+        }
+        m.flush_to(prev).unwrap();
+        assert!(m.flushed_lsn() > prev);
+        let bodies: Vec<_> = m.scan(Lsn::NULL).map(|r| r.unwrap().body).collect();
+        assert_eq!(bodies.len(), 50);
+        for (i, b) in bodies.iter().enumerate() {
+            assert_eq!(b, &vec![i as u8; 24]);
+        }
+    }
+
+    #[test]
+    fn mirror_never_leads_published_watermark() {
+        let dir = TempDir::new("wal");
+        let m = mgr(&dir);
+        let mut prev = Lsn::NULL;
+        for i in 0..20u8 {
+            prev = m.append(&upd(1, prev, &[i; 8]));
+            // Read order matters: mirror first, then published.
+            let mirror = m.flushed_lsn();
+            let published = m.published_lsn();
+            assert!(mirror <= published, "durable mirror leads publication");
+            if i % 5 == 0 {
+                m.flush_to(prev).unwrap();
+            }
+        }
     }
 }

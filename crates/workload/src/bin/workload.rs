@@ -3,6 +3,7 @@
 //! ```text
 //! workload baseline    [flags]   standalone engine -> BENCH_workload_baseline.json
 //! workload pool        [flags]   partitioned pool + bg writer -> BENCH_pool_partitioned.json
+//! workload wal         [flags]   dedicated WAL flusher + group commit -> BENCH_wal_group_commit.json
 //! workload replication [flags]   primary/standby pair -> BENCH_replication.json
 //! workload all         [flags]   all of the above
 //! workload validate FILE...      check BENCH files against the v1 schema
@@ -52,7 +53,7 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: workload <baseline|pool|replication|all> \
+        "usage: workload <baseline|pool|wal|replication|all> \
          [--quick] [--out DIR] [--threads N,M] [--ops N] [--keyspace N] \
          [--theta F | --uniform] [--mix R:I:U:D] [--seed N] \
          [--progress] [--metrics FILE] [--trace FILE]\n\
@@ -166,6 +167,18 @@ fn pool_db_options() -> DbOptions {
     }
 }
 
+/// `wal` topic: same engine and workload as `baseline`, with the WAL's
+/// dedicated flusher thread on so commits group behind one fsync instead of
+/// each taking the flush lock. Comparing BENCH_wal_group_commit.json against
+/// BENCH_workload_baseline.json isolates the group-commit pipeline's
+/// contribution to 8-thread commit p99 and the wal_fsync count.
+fn wal_db_options() -> DbOptions {
+    DbOptions {
+        wal_flusher: true,
+        ..db_options()
+    }
+}
+
 fn print_run(label: &str, r: &RunResult) {
     println!(
         "  {label}: {} threads, {} ops in {:.2}s = {:.0} ops/s \
@@ -264,6 +277,10 @@ fn bench_pool(args: &Args) -> Result<String, String> {
     bench_standalone(args, "pool_partitioned", "pool", pool_db_options())
 }
 
+fn bench_wal(args: &Args) -> Result<String, String> {
+    bench_standalone(args, "wal_group_commit", "wal", wal_db_options())
+}
+
 fn bench_replication(args: &Args) -> Result<String, String> {
     let mut runs = Vec::new();
     for &threads in &args.threads {
@@ -357,12 +374,17 @@ fn main() -> ExitCode {
         "pool" => {
             bench_pool(&args).and_then(|text| write_bench(&args.out, "pool_partitioned", &text))
         }
+        "wal" => {
+            bench_wal(&args).and_then(|text| write_bench(&args.out, "wal_group_commit", &text))
+        }
         "replication" => bench_replication(&args)
             .and_then(|text| write_bench(&args.out, "replication", &text)),
         "all" => bench_baseline(&args)
             .and_then(|text| write_bench(&args.out, "workload_baseline", &text))
             .and_then(|()| bench_pool(&args))
             .and_then(|text| write_bench(&args.out, "pool_partitioned", &text))
+            .and_then(|()| bench_wal(&args))
+            .and_then(|text| write_bench(&args.out, "wal_group_commit", &text))
             .and_then(|()| bench_replication(&args))
             .and_then(|text| write_bench(&args.out, "replication", &text)),
         "validate" => {

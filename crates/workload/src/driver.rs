@@ -180,6 +180,16 @@ pub struct RunResult {
     /// Wall nanoseconds spent in attempts that ended in a deadlock-victim
     /// abort (included in `wall_ns`, not in any op histogram).
     pub aborted_ns: u64,
+    /// Group-flush batches over the run (each one `write` + optional
+    /// fsync), from `obs.wal.group_batches`.
+    pub wal_group_batches: u64,
+    /// Committers satisfied by a batch they did not lead, from
+    /// `obs.wal.group_riders`. `riders / (batches + riders)` is the
+    /// amortization ratio.
+    pub wal_group_riders: u64,
+    /// Batch-size distribution **in waiters, not nanoseconds** (see
+    /// `Histograms::wal_group_batch`).
+    pub wal_batch: HistogramSnapshot,
 }
 
 impl RunResult {
@@ -352,6 +362,9 @@ pub fn run(target: &Target<'_>, cfg: &WorkloadConfig) -> Result<RunResult> {
         breakdown: primary.obs().spans.snapshot(),
         wall_ns,
         aborted_ns,
+        wal_group_batches: primary.obs().wal.group_batches.load(Ordering::Relaxed),
+        wal_group_riders: primary.obs().wal.group_riders.load(Ordering::Relaxed),
+        wal_batch: primary.obs().hist.wal_group_batch.snapshot(),
     })
 }
 

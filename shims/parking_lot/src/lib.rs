@@ -204,6 +204,103 @@ impl Condvar {
     }
 }
 
+// --- Parker ----------------------------------------------------------------
+
+/// Futex-style one-token parker, the blocking primitive of the WAL group
+/// commit barrier: committers park until the flusher (or a group leader)
+/// unparks them, and an `unpark` that races ahead of the `park` is never
+/// lost (the token stays set).
+///
+/// Under the model checker, `park`/`park_timeout` never block: they consume
+/// the token if present and otherwise return **spuriously** after a
+/// schedule point — a blocked virtual thread outside the controller's view
+/// would hang the schedule. Every caller must therefore loop on its actual
+/// predicate (durable LSN reached, queue non-empty, …), treating the parker
+/// purely as a wakeup hint. That is also the correct discipline against
+/// real spurious wakeups.
+#[derive(Default)]
+pub struct Parker {
+    /// 1 = a wakeup is pending; `park` consumes it with a swap.
+    token: std::sync::atomic::AtomicU32,
+    mu: std::sync::Mutex<()>,
+    cv: std::sync::Condvar,
+}
+
+impl Parker {
+    pub const fn new() -> Parker {
+        Parker {
+            token: std::sync::atomic::AtomicU32::new(0),
+            mu: std::sync::Mutex::new(()),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Consume a pending token, or block until one arrives (may also return
+    /// spuriously; callers loop on their predicate).
+    pub fn park(&self) {
+        self.park_inner(None);
+    }
+
+    /// [`Parker::park`] with an upper bound on the blocking time.
+    pub fn park_timeout(&self, timeout: Duration) {
+        self.park_inner(Some(timeout));
+    }
+
+    fn park_inner(&self, timeout: Option<Duration>) {
+        // This crate sits *below* the msync facade (ariesim_common depends
+        // on us), so the schedule point is reported directly: the token RMW
+        // is a real interleaving choice the model controller must own.
+        sched::acquire_point(OpKind::AtomicRmw, obj_id(self));
+        // ordering: Acquire pairs with the Release store in `unpark`, so
+        // state written before the unpark is visible after a consumed park.
+        if self.token.swap(0, std::sync::atomic::Ordering::Acquire) == 1 {
+            return;
+        }
+        if sched::thread_armed() {
+            // Under the model a park is a spurious return: blocking here
+            // would park the virtual thread outside the controller's view.
+            return;
+        }
+        let mut g = self.mu.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            // ordering: Acquire — as above; re-checked under the mutex so a
+            // wakeup between the first check and the wait is not missed.
+            if self.token.swap(0, std::sync::atomic::Ordering::Acquire) == 1 {
+                return;
+            }
+            match timeout {
+                None => {
+                    g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(t) => {
+                    let (g2, res) = match self.cv.wait_timeout(g, t) {
+                        Ok(p) => p,
+                        Err(e) => e.into_inner(),
+                    };
+                    g = g2;
+                    if res.timed_out() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Make the next (or current) `park` return. Never lost: if no thread
+    /// is parked, the token satisfies the next park.
+    pub fn unpark(&self) {
+        sched::acquire_point(OpKind::AtomicStore, obj_id(self));
+        // ordering: Release publishes the waker's writes to the Acquire
+        // swap in `park`.
+        self.token.store(1, std::sync::atomic::Ordering::Release);
+        // Briefly take the mutex so a parker between its token re-check and
+        // its wait cannot miss the notification (classic missed-wakeup
+        // fence), then notify.
+        drop(self.mu.lock().unwrap_or_else(|e| e.into_inner()));
+        self.cv.notify_all();
+    }
+}
+
 // --- RwLock ----------------------------------------------------------------
 
 #[derive(Default)]
@@ -543,6 +640,38 @@ mod tests {
     use super::lock_api::ArcRwLockWriteGuard;
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parker_token_prevents_lost_wakeup() {
+        let p = Parker::new();
+        p.unpark(); // unpark before park: token must satisfy the next park
+        let start = std::time::Instant::now();
+        p.park();
+        assert!(start.elapsed() < Duration::from_secs(1));
+        // Token consumed: a timed park now waits out the timeout.
+        let start = std::time::Instant::now();
+        p.park_timeout(Duration::from_millis(20));
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn parker_wakes_blocked_thread() {
+        let p = Arc::new(Parker::new());
+        let flag = Arc::new(AtomicUsize::new(0));
+        let h = {
+            let p = p.clone();
+            let flag = flag.clone();
+            std::thread::spawn(move || {
+                while flag.load(Ordering::Acquire) == 0 {
+                    p.park();
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(1, Ordering::Release);
+        p.unpark();
+        h.join().unwrap();
+    }
 
     #[test]
     fn mutex_and_condvar_wait_for() {
